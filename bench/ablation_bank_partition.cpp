@@ -1,0 +1,35 @@
+// Ablation (beyond the paper's figures): the even/odd bank partitioning of
+// parameters vs activations (Section 3.4, "Memory Allocation").
+//
+// With partitioning disabled, activation reads/writes land in the same
+// banks as the weight stream and thrash its open rows. Reports cycle-level
+// expert latency, achieved bandwidth, and row-hit rate both ways.
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace monde;
+  bench::banner("Ablation: bank partitioning",
+                "even/odd bank split of weights vs activations (Section 3.4)");
+
+  const auto sys = core::SystemConfig::dac24();
+  Table t{{"tokens", "partitioned (us)", "shared banks (us)", "slowdown", "row-hit part.",
+           "row-hit shared"}};
+  for (const std::int64_t tokens : {std::int64_t{1}, std::int64_t{4}, std::int64_t{8},
+                                    std::int64_t{16}}) {
+    const compute::ExpertShape e{tokens, 2048, 8192};
+    ndp::NdpCoreSim part{sys.ndp, sys.monde_mem};
+    ndp::NdpCoreSim shared{sys.ndp, sys.monde_mem};
+    shared.bank_partitioning = false;
+    const auto rp = part.simulate_expert(e, compute::DataType::kBf16);
+    const auto rs = shared.simulate_expert(e, compute::DataType::kBf16);
+    t.add_row({std::to_string(tokens), Table::num(rp.latency.us(), 1),
+               Table::num(rs.latency.us(), 1), Table::num(rs.latency / rp.latency, 3) + "x",
+               Table::pct(rp.row_hit_rate, 1), Table::pct(rs.row_hit_rate, 1)});
+  }
+  t.print(std::cout);
+  std::printf("\nthe paper partitions 'to mitigate memory contention from accessing expert\n"
+              "parameters and activations simultaneously'; the effect concentrates in the\n"
+              "activation-heavy (higher-token) cases.\n");
+  return 0;
+}

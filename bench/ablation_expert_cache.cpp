@@ -1,0 +1,50 @@
+// Ablation (beyond the paper): GPU expert caching for the PMove baseline.
+//
+// The paper's GPU+PM fetches and evicts every activated expert. With spare
+// GPU memory as an LRU expert cache, the skewed routing (Figure 3) makes
+// hot experts hit across decode steps. This bench sweeps the cache size for
+// NLLB-MoE decoding and reports throughput and hit rates -- quantifying how
+// far a software-only fix can close the gap MoNDE closes in hardware.
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace monde;
+  using core::StrategyKind;
+  bench::banner("Ablation: GPU expert cache",
+                "LRU expert caching on the GPU+PM baseline (NLLB-MoE decoder, B=4)");
+
+  bench::EngineFactory factory;
+  const auto model = moe::MoeModelConfig::nllb_moe_128();
+  const auto prof = moe::SkewProfile::nllb_like();
+
+  // MD+LB reference (no cache).
+  auto lb = factory.make(core::SystemConfig::dac24(), model, prof,
+                         StrategyKind::kMondeLoadBalanced);
+  const double t_lb = lb.run_decoder(4, bench::kDecoderSteps).throughput_tokens_per_s();
+
+  Table t{{"cache", "experts cached", "decoder tok/s", "hit rate", "vs no cache",
+           "vs MD+LB"}};
+  double base_tput = 0.0;
+  for (const double cache_gb : {0.0, 2.0, 8.0, 16.0, 32.0}) {
+    core::SystemConfig sys = core::SystemConfig::dac24();
+    sys.gpu_expert_cache_bytes = Bytes::gib(cache_gb);
+    auto eng = factory.make(sys, model, prof, StrategyKind::kGpuPmove);
+    const auto report = eng.run_decoder(4, bench::kDecoderSteps);
+    const double tput = report.throughput_tokens_per_s();
+    if (cache_gb == 0.0) base_tput = tput;
+    const auto* cache = eng.strategy().expert_cache();
+    const std::size_t capacity =
+        static_cast<std::size_t>(Bytes::gib(cache_gb).count() / model.expert_bytes().count());
+    t.add_row({cache_gb == 0.0 ? "off" : Table::num(cache_gb, 0) + " GiB",
+               std::to_string(capacity), Table::num(tput, 0),
+               cache ? Table::pct(cache->hit_rate(), 1) : "-",
+               Table::num(tput / base_tput, 2) + "x",
+               Table::num(tput / t_lb, 2) + "x"});
+  }
+  t.print(std::cout);
+  std::printf("\nEven a generous cache cannot hold 103 GB of experts; the hot few hit, the\n"
+              "cold majority still pays PMove -- near-data execution remains ahead while\n"
+              "needing no GPU memory at all. (MD+LB reference: %.0f tok/s)\n", t_lb);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation: it builds the platform, runs the simulation, and prints the
+// same rows/series the paper reports (plus our measured values).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/load_balancer.hpp"
+
+namespace monde::bench {
+
+/// Banner with the figure/table id and a one-line description.
+inline void banner(const std::string& id, const std::string& what) {
+  std::cout << "\n=== " << id << ": " << what << " ===\n"
+            << "(simulated reproduction; see EXPERIMENTS.md for paper-vs-measured notes)\n\n";
+}
+
+/// Engine factory that shares one NDP simulator per (system, model dims)
+/// so expert-shape latencies memoize across strategies and batch sizes.
+class EngineFactory {
+ public:
+  core::InferenceEngine make(const core::SystemConfig& sys, const moe::MoeModelConfig& model,
+                             const moe::SkewProfile& prof, core::StrategyKind kind,
+                             std::uint64_t seed = 42) {
+    const Key key{sys.monde_mem.data_rate_mtps, sys.ndp.clock_ghz, sys.ndp.num_units};
+    auto& sim = sims_[key];
+    if (!sim) sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+    return core::InferenceEngine{sys, model, prof, kind, seed, sim};
+  }
+
+ private:
+  using Key = std::tuple<double, double, int>;
+  std::map<Key, std::shared_ptr<ndp::NdpCoreSim>> sims_;
+};
+
+/// The skew profile the paper's workloads exhibit for each model.
+inline moe::SkewProfile profile_for(const moe::MoeModelConfig& model) {
+  return model.top_k >= 2 ? moe::SkewProfile::nllb_like() : moe::SkewProfile::switch_like();
+}
+
+/// Decoder steps simulated per run: enough for steady-state averages while
+/// keeping the cycle-level runs tractable.
+constexpr std::int64_t kDecoderSteps = 16;
+
+}  // namespace monde::bench

@@ -1,0 +1,36 @@
+// Figure 2(a): MoE memory scaling with the number of experts.
+//
+// Reproduces the bars: non-expert vs expert parameter memory for T5-Large
+// and NLLB-3.3B backbones at Dense / E=64 / 128 / 256 / 512, against the
+// A100x4 (320 GB) and V100x4 (128 GB) GPU-memory envelopes the paper draws.
+#include "analysis/footprint.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace monde;
+  bench::banner("Figure 2(a)", "MoE parameter scaling with E");
+
+  Table t{{"backbone", "config", "non-expert (GB)", "expert (GB)", "total (GB)",
+           "fits A100x4 (320GB)", "fits V100x4 (128GB)"}};
+  for (const auto& base :
+       {moe::MoeModelConfig::switch_large_128(), moe::MoeModelConfig::nllb_moe_128()}) {
+    const std::string backbone = base.dmodel == 1024 ? "T5-L" : "NLLB-3.3B";
+    for (const auto& row : analysis::expert_scaling_sweep(base)) {
+      const double total = row.total().as_gb();
+      t.add_row({backbone,
+                 row.num_experts == 0 ? "Dense" : "E=" + std::to_string(row.num_experts),
+                 Table::num(row.non_expert.as_gb(), 2), Table::num(row.expert.as_gb(), 1),
+                 Table::num(total, 1), total <= 320.0 ? "yes" : "NO",
+                 total <= 128.0 ? "yes" : "NO"});
+    }
+  }
+  t.print(std::cout);
+
+  const auto t5 = analysis::footprint(moe::MoeModelConfig::t5_large_dense());
+  const auto sl = analysis::footprint(moe::MoeModelConfig::switch_large_128());
+  std::printf(
+      "\npaper: Switch-Large-128 needs ~34x the memory of T5-Large; measured: %.1fx\n",
+      static_cast<double>(sl.total().count()) / static_cast<double>(t5.total().count()));
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 2(b): expert-parameter vs activation scaling across dmodel.
+//
+// Single-expert size (2 * dmodel * dff elements, dff = 4*dmodel) against the
+// activation volume of a 6144-token probe, and their ratio -- the quadratic
+// vs linear gap that makes Activation Movement win (Equations 1-2).
+#include "analysis/footprint.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace monde;
+  bench::banner("Figure 2(b)", "MoE scaling with dmodel (6144-token activation probe)");
+
+  Table t{{"dmodel", "single expert (MB)", "activations (MB)", "expert/activation"}};
+  for (const auto& row :
+       analysis::dmodel_scaling_sweep({768, 1024, 1536, 2048, 2560, 4096}, 6144)) {
+    t.add_row({std::to_string(row.dmodel),
+               Table::num(static_cast<double>(row.single_expert.count()) * 1e-6, 1),
+               Table::num(static_cast<double>(row.activations.count()) * 1e-6, 1),
+               Table::num(row.expert_to_act_ratio, 2)});
+  }
+  t.print(std::cout);
+  std::printf("\npaper: the expert/activation ratio grows ~linearly with dmodel "
+              "(quadratic expert bytes vs linear activation bytes).\n");
+  return 0;
+}

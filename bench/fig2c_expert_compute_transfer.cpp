@@ -1,0 +1,44 @@
+// Figure 2(c): single-expert computation vs parameter-transfer latency on
+// the GPU across routed-token counts, for dmodel 1024 and 2048 (A100 +
+// PCIe Gen4 x16), with achieved TFLOPS.
+//
+// The paper's takeaway: transferring one expert takes up to ~30x longer
+// than computing it when few tokens are routed, and the GPU's compute
+// throughput is severely underutilized in that regime.
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "compute/gpu.hpp"
+#include "interconnect/link.hpp"
+
+int main() {
+  using namespace monde;
+  bench::banner("Figure 2(c)", "expert compute vs transfer latency (A100 + PCIe Gen4 x16)");
+
+  const compute::GpuModel gpu{compute::GpuSpec::a100_pcie_40gb()};
+  const auto pcie = interconnect::LinkSpec::pcie_gen4_x16();
+
+  for (const std::int64_t dmodel : {std::int64_t{1024}, std::int64_t{2048}}) {
+    const std::int64_t dff = 4 * dmodel;
+    std::printf("dmodel=%lld, dff=%lld (expert = %.1f MB)\n",
+                static_cast<long long>(dmodel), static_cast<long long>(dff),
+                static_cast<double>(
+                    compute::ExpertShape{1, dmodel, dff}.weight_bytes(
+                        compute::DataType::kBf16).count()) * 1e-6);
+    Table t{{"tokens", "compute (ms)", "transfer (ms)", "transfer/compute", "TFLOPS"}};
+    const std::int64_t max_tokens = dmodel == 1024 ? 512 : 2048;
+    for (std::int64_t tok = 1; tok <= max_tokens; tok *= 4) {
+      const compute::ExpertShape e{tok, dmodel, dff};
+      const Duration compute = gpu.expert_time(e, compute::DataType::kBf16);
+      const Duration transfer = pcie.transfer_time(e.weight_bytes(compute::DataType::kBf16));
+      const double tflops = e.flops() / compute.sec() * 1e-12;
+      t.add_row({std::to_string(tok), Table::num(compute.ms(), 3),
+                 Table::num(transfer.ms(), 3), Table::num(transfer / compute, 1),
+                 Table::num(tflops, 2)});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("paper: transfer up to ~30x longer than compute at 1 routed token;\n"
+              "       achieved TFLOPS far below the A100's 312 TFLOPS peak for cold experts.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 8: MoE latency of CPU expert computation (CPU+AM) vs MoNDE NDP
+// (MD+AM) for NLLB-MoE at batch 1 / 4 / 16, encoder and decoder.
+//
+// The paper reports 9.1x (encoder) and 1.9x (decoder) average latency
+// reductions, attributed to MoNDE's higher memory bandwidth (2.7x the
+// Xeon's) and the CPU's NUMA/efficiency limits.
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace monde;
+  using core::StrategyKind;
+  bench::banner("Figure 8", "CPU+AM vs MD+AM MoE latency (NLLB-MoE)");
+
+  bench::EngineFactory factory;
+  const auto sys = core::SystemConfig::dac24();
+  const auto model = moe::MoeModelConfig::nllb_moe_128();
+  const auto prof = moe::SkewProfile::nllb_like();
+
+  for (const bool decoder : {false, true}) {
+    Table t{{"B", "CPU+AM MoE (ms)", "MD+AM MoE (ms)", "reduction"}};
+    std::vector<double> reductions;
+    for (const std::int64_t batch : {std::int64_t{1}, std::int64_t{4}, std::int64_t{16}}) {
+      auto cpu = factory.make(sys, model, prof, StrategyKind::kCpuAmove);
+      auto md = factory.make(sys, model, prof, StrategyKind::kMondeAmove);
+      const double t_cpu = (decoder ? cpu.run_decoder(batch, bench::kDecoderSteps)
+                                    : cpu.run_encoder(batch, 512))
+                               .moe.ms();
+      const double t_md = (decoder ? md.run_decoder(batch, bench::kDecoderSteps)
+                                   : md.run_encoder(batch, 512))
+                              .moe.ms();
+      reductions.push_back(t_cpu / t_md);
+      t.add_row({std::to_string(batch), Table::num(t_cpu, 1), Table::num(t_md, 1),
+                 Table::num(t_cpu / t_md, 2) + "x"});
+    }
+    double avg = 0;
+    for (const double r : reductions) avg += r / static_cast<double>(reductions.size());
+    std::printf("%s (paper avg reduction: %s):\n", decoder ? "decoder" : "encoder",
+                decoder ? "1.9x" : "9.1x");
+    t.print(std::cout);
+    std::printf("measured average reduction: %.2fx\n\n", avg);
+  }
+  return 0;
+}

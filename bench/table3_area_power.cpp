@@ -1,0 +1,48 @@
+// Table 3: area and power of the MoNDE NDP core (28 nm, 1 GHz), plus the
+// DRAM-equivalence and power-overhead notes from Section 4.3.
+#include "analysis/area_power.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace monde;
+  bench::banner("Table 3", "MoNDE NDP core area and power (28 nm @ 1 GHz)");
+
+  const analysis::AreaPowerModel model;
+  const auto spec = ndp::NdpSpec::monde_dac24();
+  const auto r = model.evaluate(spec);
+
+  Table t{{"component", "area (mm^2)", "power (W)"}};
+  t.add_row({"Systolic Array / PE", Table::num(r.pe_array.area_mm2, 3),
+             Table::num(r.pe_array.power_w, 3)});
+  t.add_row({"Systolic Array / Control", Table::num(r.array_control.area_mm2, 3),
+             Table::num(r.array_control.power_w, 3)});
+  t.add_row({"Scratchpad", Table::num(r.scratchpad.area_mm2, 3),
+             Table::num(r.scratchpad.power_w, 3)});
+  t.add_row({"Operand Bufs", Table::num(r.operand_bufs.area_mm2, 3),
+             Table::num(r.operand_bufs.power_w, 3)});
+  t.add_row({"TOTAL", Table::num(r.total().area_mm2, 3), Table::num(r.total().power_w, 3)});
+  t.print(std::cout);
+
+  const double base = model.base_device_power_w(Bytes::gib(512), Bandwidth::gbps(512));
+  std::printf("\narea overhead:  %.1f mm^2 (~%.2f Gb of target DRAM cells; paper: 3.0 mm^2 / 0.9 Gb)\n",
+              r.total().area_mm2, model.dram_equivalent_gb(r.total().area_mm2));
+  std::printf("base device:    %.1f W (paper: 114.2 W)\n", base);
+  std::printf("NDP power cost: %.1f%% of the base memory system (paper: 1.6%%)\n",
+              100.0 * model.ndp_power_overhead(spec, Bytes::gib(512), Bandwidth::gbps(512)));
+
+  // What-if scaling beyond the paper: wider/faster NDP cores.
+  std::printf("\nwhat-if scaling (not in the paper):\n");
+  Table w{{"config", "area (mm^2)", "power (W)", "peak TFLOPS"}};
+  for (const auto& [units, ghz] : {std::pair{32, 1.0}, {64, 1.0}, {128, 1.0}, {64, 2.0}}) {
+    ndp::NdpSpec s = spec;
+    s.num_units = units;
+    s.clock_ghz = ghz;
+    const auto rr = model.evaluate(s);
+    w.add_row({std::to_string(units) + " units @ " + Table::num(ghz, 1) + " GHz",
+               Table::num(rr.total().area_mm2, 3), Table::num(rr.total().power_w, 3),
+               Table::num(s.peak_flops().as_tflops(), 2)});
+  }
+  w.print(std::cout);
+  return 0;
+}

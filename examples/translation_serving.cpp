@@ -1,0 +1,71 @@
+// Translation serving: the paper's NLLB-MoE machine-translation scenario.
+//
+// Simulates a small online serving window: translation requests arrive with
+// varying batch sizes, each needing one encoder pass over the source
+// sentence plus autoregressive decoding of the target. Compares serving the
+// expert layers with GPU+PM (DeepSpeed-style parameter offloading) against
+// MoNDE (MD+LB), and reports per-request latency and aggregate throughput.
+//
+//   ./examples/translation_serving
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace {
+
+struct Request {
+  std::int64_t batch;     ///< sentences batched together
+  std::int64_t src_len;   ///< source tokens per sentence
+  std::int64_t out_len;   ///< generated target tokens
+};
+
+}  // namespace
+
+int main() {
+  using namespace monde;
+
+  const core::SystemConfig sys = core::SystemConfig::dac24();
+  const moe::MoeModelConfig model = moe::MoeModelConfig::nllb_moe_128();
+  const moe::SkewProfile skew = moe::SkewProfile::nllb_like();
+
+  // A short request trace: mixed single-sentence and batched translations.
+  const std::vector<Request> trace = {
+      {1, 512, 16}, {4, 512, 16}, {1, 512, 24}, {2, 512, 16}, {4, 512, 8},
+  };
+
+  std::printf("serving %zu translation requests with %s (%.1f GB of experts)\n\n",
+              trace.size(), model.name.c_str(), model.total_expert_bytes().as_gb());
+
+  // One shared cycle-level simulator: expert latencies memoize across both
+  // serving configurations.
+  auto sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+
+  for (const auto kind : {core::StrategyKind::kGpuPmove,
+                          core::StrategyKind::kMondeLoadBalanced}) {
+    core::InferenceEngine engine{sys, model, skew, kind, 42, sim};
+    std::printf("--- strategy: %s ---\n", engine.strategy().name().c_str());
+    Duration busy = Duration::zero();
+    std::uint64_t tokens_out = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const Request& rq = trace[i];
+      const auto enc = engine.run_encoder(rq.batch, rq.src_len);
+      const auto dec = engine.run_decoder(rq.batch, rq.out_len, rq.src_len);
+      const Duration latency = enc.total + dec.total;
+      busy += latency;
+      tokens_out += dec.tokens;
+      std::printf("  request %zu (B=%lld, %lld->%lld tok): encode %s + decode %s = %s\n", i,
+                  static_cast<long long>(rq.batch), static_cast<long long>(rq.src_len),
+                  static_cast<long long>(rq.out_len), enc.total.str().c_str(),
+                  dec.total.str().c_str(), latency.str().c_str());
+    }
+    std::printf("  window total: %s, generated %llu tokens -> %.1f tok/s\n\n",
+                busy.str().c_str(), static_cast<unsigned long long>(tokens_out),
+                static_cast<double>(tokens_out) / busy.sec());
+  }
+
+  std::printf("MoNDE replaces per-expert parameter transfers (67.1 MB each over PCIe)\n"
+              "with activation transfers of a few hundred KB, which is where the\n"
+              "end-to-end win comes from (paper Sections 3.2 and 4.2).\n");
+  return 0;
+}

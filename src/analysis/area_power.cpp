@@ -1,0 +1,61 @@
+#include "analysis/area_power.hpp"
+
+#include "common/error.hpp"
+
+namespace monde::analysis {
+
+TechCoefficients TechCoefficients::dac24_28nm() {
+  // Calibration anchors (Table 3, DAC'24 configuration):
+  //   PE array:   2.042 mm^2 / 0.993 W over 64 units x 16 MACs = 1024 MACs
+  //   Control:    0.053 mm^2 / 0.033 W over 64 units
+  //   Scratchpad: 0.289 mm^2 / 0.258 W over 136 KiB
+  //   Operand:    0.570 mm^2 / 0.526 W over 128 KiB
+  TechCoefficients c;
+  c.mm2_per_mac = 2.042 / 1024.0;
+  c.w_per_mac = 0.993 / 1024.0;
+  c.mm2_control_per_unit = 0.053 / 64.0;
+  c.w_control_per_unit = 0.033 / 64.0;
+  c.mm2_per_scratch_kib = 0.289 / 136.0;
+  c.w_per_scratch_kib = 0.258 / 136.0;
+  c.mm2_per_operand_kib = 0.570 / 128.0;
+  c.w_per_operand_kib = 0.526 / 128.0;
+  return c;
+}
+
+AreaPowerModel::AreaPowerModel(TechCoefficients coeff) : coeff_{coeff} {}
+
+NdpAreaPowerReport AreaPowerModel::evaluate(const ndp::NdpSpec& spec) const {
+  MONDE_REQUIRE(spec.num_units > 0 && spec.clock_ghz > 0.0, "invalid NDP spec");
+  const double macs = spec.macs_per_cycle();
+  const double units = static_cast<double>(spec.num_units);
+  const double clock_scale = spec.clock_ghz / 1.0;  // dynamic power vs 1 GHz
+
+  NdpAreaPowerReport r;
+  r.pe_array.area_mm2 = coeff_.mm2_per_mac * macs;
+  r.pe_array.power_w = coeff_.w_per_mac * macs * clock_scale;
+  r.array_control.area_mm2 = coeff_.mm2_control_per_unit * units;
+  r.array_control.power_w = coeff_.w_control_per_unit * units * clock_scale;
+  r.scratchpad.area_mm2 = coeff_.mm2_per_scratch_kib * spec.scratchpad.as_kib();
+  r.scratchpad.power_w = coeff_.w_per_scratch_kib * spec.scratchpad.as_kib() * clock_scale;
+  r.operand_bufs.area_mm2 = coeff_.mm2_per_operand_kib * spec.operand_buffers.as_kib();
+  r.operand_bufs.power_w =
+      coeff_.w_per_operand_kib * spec.operand_buffers.as_kib() * clock_scale;
+  return r;
+}
+
+double AreaPowerModel::base_device_power_w(Bytes capacity, Bandwidth bandwidth) const {
+  return w_per_gb_static_ * capacity.as_gb() + w_per_gbps_dynamic_ * bandwidth.as_gbps();
+}
+
+double AreaPowerModel::ndp_power_overhead(const ndp::NdpSpec& spec, Bytes capacity,
+                                          Bandwidth bandwidth) const {
+  const double base = base_device_power_w(capacity, bandwidth);
+  MONDE_REQUIRE(base > 0.0, "base device power must be positive");
+  return evaluate(spec).total().power_w / base;
+}
+
+double AreaPowerModel::dram_equivalent_gb(double area_mm2) const {
+  return area_mm2 * dram_gb_per_mm2_;
+}
+
+}  // namespace monde::analysis

@@ -1,0 +1,90 @@
+// Parametric area / power model of the MoNDE NDP core (paper Table 3).
+//
+// The paper synthesizes the systolic array with Synopsys DC at 28 nm / 1 GHz
+// and generates buffers with a commercial memory compiler. We substitute a
+// parametric model whose per-MAC and per-KB coefficients are calibrated so
+// the DAC'24 configuration (64 units of 4x4 PEs, 264 KB of buffers)
+// reproduces the published component numbers exactly, while remaining
+// scalable for what-if ablations (different unit counts, buffer sizes,
+// clocks).
+#pragma once
+
+#include "ndp/ndp_spec.hpp"
+
+namespace monde::analysis {
+
+/// Area (mm^2) and power (W) of one component.
+struct AreaPower {
+  double area_mm2 = 0.0;
+  double power_w = 0.0;
+
+  AreaPower& operator+=(const AreaPower& o) {
+    area_mm2 += o.area_mm2;
+    power_w += o.power_w;
+    return *this;
+  }
+};
+
+/// The Table 3 breakdown.
+struct NdpAreaPowerReport {
+  AreaPower pe_array;       ///< "Systolic Array / PE"
+  AreaPower array_control;  ///< "Systolic Array / Control"
+  AreaPower scratchpad;     ///< "Scratchpad"
+  AreaPower operand_bufs;   ///< "Operand Bufs"
+
+  [[nodiscard]] AreaPower total() const {
+    AreaPower t;
+    t += pe_array;
+    t += array_control;
+    t += scratchpad;
+    t += operand_bufs;
+    return t;
+  }
+};
+
+/// Technology coefficients (28 nm, 1 GHz reference clock).
+struct TechCoefficients {
+  double mm2_per_mac = 0.0;
+  double w_per_mac = 0.0;
+  double mm2_control_per_unit = 0.0;
+  double w_control_per_unit = 0.0;
+  double mm2_per_scratch_kib = 0.0;
+  double w_per_scratch_kib = 0.0;
+  double mm2_per_operand_kib = 0.0;
+  double w_per_operand_kib = 0.0;
+
+  /// Coefficients calibrated so NdpSpec::monde_dac24() reproduces Table 3.
+  [[nodiscard]] static TechCoefficients dac24_28nm();
+};
+
+/// Parametric NDP area/power evaluator.
+class AreaPowerModel {
+ public:
+  explicit AreaPowerModel(TechCoefficients coeff = TechCoefficients::dac24_28nm());
+
+  /// Evaluate a configuration. Dynamic power scales linearly with clock
+  /// relative to the 1 GHz calibration point; area is clock-independent.
+  [[nodiscard]] NdpAreaPowerReport evaluate(const ndp::NdpSpec& spec) const;
+
+  /// Power of the base CXL memory-expander device (no NDP): static per-GB
+  /// plus dynamic per-GB/s terms, calibrated to the paper's 114.2 W at
+  /// 512 GB / ~512 GB/s.
+  [[nodiscard]] double base_device_power_w(Bytes capacity, Bandwidth bandwidth) const;
+
+  /// NDP power as a fraction of the base device power (paper: ~1.6%).
+  [[nodiscard]] double ndp_power_overhead(const ndp::NdpSpec& spec, Bytes capacity,
+                                          Bandwidth bandwidth) const;
+
+  /// DRAM-equivalent area: Gb of DRAM cells occupying the same silicon as
+  /// the NDP core (the paper states 3.0 mm^2 ~= 0.9 Gb of its target DRAM).
+  [[nodiscard]] double dram_equivalent_gb(double area_mm2) const;
+
+ private:
+  TechCoefficients coeff_;
+  // Calibrated so a 512-GiB / 512-GB/s expander draws the paper's 114.2 W.
+  double w_per_gb_static_ = 0.1118;   ///< DRAM background+refresh per GB
+  double w_per_gbps_dynamic_ = 0.103; ///< IO+activate power per GB/s
+  double dram_gb_per_mm2_ = 0.3;      ///< density of the target LPDDR node
+};
+
+}  // namespace monde::analysis

@@ -1,0 +1,79 @@
+// Energy accounting (extension beyond the paper's Table 3).
+//
+// The paper reports component *power*; serving decisions also need *energy
+// per request*. This model prices the three movers of an MoE layer:
+//
+//   * DRAM energy from the cycle simulator's command counts (activate /
+//     read / write / refresh energy plus background power x elapsed time),
+//     with LPDDR5X-class coefficients;
+//   * NDP core energy from the Table-3-calibrated power model x busy time;
+//   * link energy per transferred bit (PCIe/CXL SerDes class);
+//   * GPU and CPU energy from average-power x busy-time envelopes.
+//
+// Combined with the strategies' MoeLayerResult accounting, this yields the
+// joules-per-MoE-layer comparison in bench/ablation_energy.
+#pragma once
+
+#include "analysis/area_power.hpp"
+#include "core/strategy.hpp"
+#include "dram/request.hpp"
+
+namespace monde::analysis {
+
+/// Per-command and background DRAM energy coefficients (LPDDR5X class).
+struct DramEnergyCoefficients {
+  double pj_per_activate = 2500.0;   ///< ACT+PRE pair, whole row
+  double pj_per_read = 450.0;        ///< one 128-B column access, incl. I/O
+  double pj_per_write = 430.0;
+  double pj_per_refresh = 28000.0;   ///< all-bank refresh, one rank
+  double background_mw_per_gb = 18.0;  ///< idle/standby power per GB
+};
+
+/// DRAM energy for a simulated interval.
+[[nodiscard]] double dram_energy_joules(const dram::Stats& stats, Duration elapsed,
+                                        Bytes capacity,
+                                        const DramEnergyCoefficients& c = {});
+
+/// Average-power envelopes for the processors and links.
+struct PlatformEnergyCoefficients {
+  double gpu_busy_watts = 250.0;       ///< A100 PCIe board power under load
+  double cpu_busy_watts = 120.0;       ///< Xeon Silver 4310 package power
+  double link_pj_per_bit = 5.0;        ///< PCIe Gen4 SerDes + controller
+  DramEnergyCoefficients dram;
+};
+
+/// Energy breakdown of one scheduled MoE layer.
+struct MoeLayerEnergy {
+  double gpu_j = 0.0;       ///< GPU compute (gating, experts, combine)
+  double cpu_j = 0.0;       ///< CPU expert compute (CPU+AM only)
+  double ndp_j = 0.0;       ///< NDP core + device DRAM
+  double link_j = 0.0;      ///< PCIe transfers (PMove + AMove)
+  [[nodiscard]] double total_j() const { return gpu_j + cpu_j + ndp_j + link_j; }
+};
+
+/// Prices a MoeLayerResult using busy times from the schedule's timeline.
+///
+/// `timeline` must be the schedule the layer ran on; busy times are taken
+/// per stream. NDP DRAM traffic is approximated from the AMove/weight
+/// volumes implied by the result (the cycle simulator's detailed counts are
+/// available per expert shape via NdpCoreSim when finer accounting is
+/// needed).
+class EnergyModel {
+ public:
+  explicit EnergyModel(PlatformEnergyCoefficients coeff = {},
+                       AreaPowerModel area_power = AreaPowerModel{});
+
+  [[nodiscard]] MoeLayerEnergy price_layer(const core::MoeLayerResult& result,
+                                           const sim::Timeline& timeline,
+                                           const core::HwStreams& hw,
+                                           const core::SystemConfig& sys,
+                                           const moe::MoeModelConfig& model) const;
+
+  [[nodiscard]] const PlatformEnergyCoefficients& coefficients() const { return coeff_; }
+
+ private:
+  PlatformEnergyCoefficients coeff_;
+  AreaPowerModel area_power_;
+};
+
+}  // namespace monde::analysis

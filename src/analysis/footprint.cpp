@@ -1,0 +1,73 @@
+#include "analysis/footprint.hpp"
+
+#include "common/error.hpp"
+
+namespace monde::analysis {
+
+FootprintRow footprint(const moe::MoeModelConfig& model) {
+  model.validate();
+  FootprintRow row;
+  row.label = model.name;
+  row.num_experts = model.moe_every > 0 ? model.num_experts : 0;
+  row.non_expert = model.non_expert_bytes();
+  row.expert = model.total_expert_bytes();
+  return row;
+}
+
+std::vector<FootprintRow> expert_scaling_sweep(const moe::MoeModelConfig& base) {
+  std::vector<FootprintRow> rows;
+  moe::MoeModelConfig dense = base;
+  dense.moe_every = 0;
+  dense.num_experts = 0;
+  dense.name = base.name + "-Dense";
+  rows.push_back(footprint(dense));
+  for (const std::int64_t e : {std::int64_t{64}, std::int64_t{128}, std::int64_t{256},
+                               std::int64_t{512}}) {
+    moe::MoeModelConfig variant = base;
+    if (variant.moe_every == 0) variant.moe_every = 2;
+    variant.num_experts = e;
+    variant.name = base.name + "-E" + std::to_string(e);
+    rows.push_back(footprint(variant));
+  }
+  return rows;
+}
+
+Bytes pmove_volume_full(const moe::MoeModelConfig& model) {
+  return model.layer_expert_bytes();
+}
+
+Bytes pmove_volume(const moe::MoeModelConfig& model, std::int64_t activated) {
+  MONDE_REQUIRE(activated >= 0 && activated <= model.num_experts,
+                "activated experts out of range");
+  return Bytes{model.expert_bytes().count() * static_cast<std::uint64_t>(activated)};
+}
+
+Bytes amove_volume(const moe::MoeModelConfig& model, std::int64_t batch, std::int64_t seq_len) {
+  MONDE_REQUIRE(batch > 0 && seq_len > 0, "amove volume needs tokens");
+  const auto elem = static_cast<std::uint64_t>(compute::bytes_per_element(model.dtype));
+  return Bytes{std::uint64_t{2} * static_cast<std::uint64_t>(batch) *
+               static_cast<std::uint64_t>(seq_len) * static_cast<std::uint64_t>(model.dmodel) *
+               elem};
+}
+
+std::vector<DmodelScalingRow> dmodel_scaling_sweep(const std::vector<std::int64_t>& dmodels,
+                                                   std::int64_t tokens,
+                                                   compute::DataType dtype) {
+  MONDE_REQUIRE(tokens > 0, "dmodel sweep needs a token probe");
+  std::vector<DmodelScalingRow> rows;
+  for (const std::int64_t d : dmodels) {
+    MONDE_REQUIRE(d > 0, "dmodel must be positive");
+    DmodelScalingRow row;
+    row.dmodel = d;
+    const compute::ExpertShape shape{tokens, d, 4 * d};
+    row.single_expert = shape.weight_bytes(dtype);
+    row.activations = shape.activation_bytes(dtype);
+    row.expert_to_act_ratio =
+        static_cast<double>(row.single_expert.count()) /
+        static_cast<double>(row.activations.count());
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace monde::analysis

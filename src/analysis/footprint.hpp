@@ -1,0 +1,53 @@
+// Memory-footprint and data-movement analytics (paper Section 2.2,
+// Figures 2(a)/2(b), Equations 1-2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moe/model_config.hpp"
+
+namespace monde::analysis {
+
+/// One row of the Figure 2(a) memory-scaling chart.
+struct FootprintRow {
+  std::string label;
+  std::int64_t num_experts = 0;  ///< 0 for the dense baseline
+  Bytes non_expert;
+  Bytes expert;
+  [[nodiscard]] Bytes total() const { return non_expert + expert; }
+};
+
+/// Footprint of one configuration.
+[[nodiscard]] FootprintRow footprint(const moe::MoeModelConfig& model);
+
+/// Figure 2(a): dense baseline plus E in {64, 128, 256, 512} variants.
+[[nodiscard]] std::vector<FootprintRow> expert_scaling_sweep(const moe::MoeModelConfig& base);
+
+/// Equation 1: full Parameter Movement volume of one MoE layer,
+/// 2 * E * dmodel * dff elements.
+[[nodiscard]] Bytes pmove_volume_full(const moe::MoeModelConfig& model);
+
+/// On-demand PMove volume: only `activated` experts move.
+[[nodiscard]] Bytes pmove_volume(const moe::MoeModelConfig& model, std::int64_t activated);
+
+/// Equation 2: Activation Movement volume of one MoE layer,
+/// 2 * B * S * dmodel elements (input + output activations).
+[[nodiscard]] Bytes amove_volume(const moe::MoeModelConfig& model, std::int64_t batch,
+                                 std::int64_t seq_len);
+
+/// One row of the Figure 2(b) dmodel-scaling chart.
+struct DmodelScalingRow {
+  std::int64_t dmodel = 0;
+  Bytes single_expert;       ///< one expert's parameters
+  Bytes activations;         ///< activations for the probe token count
+  double expert_to_act_ratio = 0.0;
+};
+
+/// Figure 2(b): expert size vs activation size across dmodel values for a
+/// fixed probe of `tokens` tokens (paper uses 6144).
+[[nodiscard]] std::vector<DmodelScalingRow> dmodel_scaling_sweep(
+    const std::vector<std::int64_t>& dmodels, std::int64_t tokens,
+    compute::DataType dtype = compute::DataType::kBf16);
+
+}  // namespace monde::analysis

@@ -1,0 +1,47 @@
+// Error handling primitives.
+//
+// The simulator distinguishes two failure classes:
+//  * contract violations (programming errors) -> MONDE_ASSERT, aborts in
+//    debug and throws in release so tests can exercise them;
+//  * invalid user input / configuration -> MONDE_REQUIRE, always throws
+//    monde::Error with a formatted message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace monde {
+
+/// Exception thrown for invalid configurations and violated preconditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* kind, const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace monde
+
+/// Validate a user-facing precondition; throws monde::Error when violated.
+#define MONDE_REQUIRE(cond, msg)                                                       \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      std::ostringstream monde_require_os;                                             \
+      monde_require_os << msg; /* NOLINT */                                            \
+      ::monde::detail::raise("requirement", #cond, __FILE__, __LINE__,                 \
+                             monde_require_os.str());                                  \
+    }                                                                                  \
+  } while (false)
+
+/// Internal invariant check; same throwing behaviour so unit tests can probe it.
+#define MONDE_ASSERT(cond, msg) MONDE_REQUIRE(cond, msg)

@@ -1,0 +1,84 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace monde {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_{std::move(upper_bounds)} {
+  MONDE_REQUIRE(!bounds_.empty(), "histogram needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    MONDE_REQUIRE(bounds_[i] > bounds_[i - 1], "histogram bounds must be strictly increasing");
+  }
+  counts_.assign(bounds_.size() + 1, 0.0);  // +1 overflow bucket
+}
+
+void Histogram::add(double value, double weight) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::bucket(std::size_t i) const {
+  MONDE_REQUIRE(i < counts_.size(), "histogram bucket out of range");
+  return counts_[i];
+}
+
+std::string Histogram::bucket_label(std::size_t i) const {
+  MONDE_REQUIRE(i < counts_.size(), "histogram bucket out of range");
+  char buf[64];
+  if (i == counts_.size() - 1) {
+    std::snprintf(buf, sizeof(buf), "%.0f+", bounds_.back() + 1.0);
+    return buf;
+  }
+  const double hi = bounds_[i];
+  const double lo = (i == 0) ? 0.0 : bounds_[i - 1] + 1.0;
+  if (lo == hi) {
+    std::snprintf(buf, sizeof(buf), "%.0f", hi);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f-%.0f", lo, hi);
+  }
+  return buf;
+}
+
+void Histogram::scale(double k) {
+  for (auto& c : counts_) c *= k;
+  total_ *= k;
+}
+
+Histogram make_token_histogram() {
+  return Histogram{{0.0, 3.0, 7.0, 15.0, 31.0, 63.0, 127.0}};
+}
+
+double geomean(const std::vector<double>& values) {
+  MONDE_REQUIRE(!values.empty(), "geomean of empty set");
+  double log_sum = 0.0;
+  for (double v : values) {
+    MONDE_REQUIRE(v > 0.0, "geomean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace monde

@@ -1,0 +1,69 @@
+// Streaming statistics and histograms used by the simulator's bookkeeping
+// (DRAM row-hit rates, per-expert token distributions, latency summaries).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace monde {
+
+/// Welford streaming mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over explicit, strictly-increasing bucket upper bounds.
+///
+/// A value `v` lands in the first bucket whose upper bound is >= v; values
+/// above the last bound land in the overflow bucket. This matches the
+/// bucketing the paper uses in Figure 3 (0, 1-3, 4-7, ..., 128+).
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void add(double value, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  /// Weighted count in bucket `i` (last bucket is overflow).
+  [[nodiscard]] double bucket(std::size_t i) const;
+  /// Label such as "[0]", "[1-3]", "128+" derived from the bounds (integer style).
+  [[nodiscard]] std::string bucket_label(std::size_t i) const;
+  [[nodiscard]] double total() const { return total_; }
+
+  /// Divide all buckets by `k` (e.g., to average over batches).
+  void scale(double k);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Convenience: the Figure-3 token-count histogram buckets
+/// 0, 1-3, 4-7, 8-15, 16-31, 32-63, 64-127, 128+.
+[[nodiscard]] Histogram make_token_histogram();
+
+/// Geometric mean of a set of strictly positive values.
+[[nodiscard]] double geomean(const std::vector<double>& values);
+
+}  // namespace monde

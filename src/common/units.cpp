@@ -1,0 +1,34 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace monde {
+namespace {
+
+std::string format(double value, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f %s", value, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::str() const {
+  const double v = ns_;
+  if (v >= 1e9) return format(v * 1e-9, "s");
+  if (v >= 1e6) return format(v * 1e-6, "ms");
+  if (v >= 1e3) return format(v * 1e-3, "us");
+  return format(v, "ns");
+}
+
+std::string Bytes::str() const {
+  const auto v = static_cast<double>(b_);
+  if (v >= 1024.0 * 1024.0 * 1024.0) return format(as_gib(), "GiB");
+  if (v >= 1024.0 * 1024.0) return format(as_mib(), "MiB");
+  if (v >= 1024.0) return format(as_kib(), "KiB");
+  return format(v, "B");
+}
+
+std::string Bandwidth::str() const { return format(as_gbps(), "GB/s"); }
+
+}  // namespace monde

@@ -1,0 +1,156 @@
+// Strong unit types used throughout the MoNDE simulator.
+//
+// All timing models in this repository exchange time as `Duration`
+// (nanosecond-resolution double), data volumes as `Bytes`, and transfer
+// rates as `Bandwidth` (bytes per second). Keeping these as distinct
+// vocabulary types (instead of bare doubles) makes interface contracts
+// explicit and prevents the classic GB-vs-GiB / ns-vs-us unit bugs.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace monde {
+
+/// A span of simulated time. Internally stored in nanoseconds.
+///
+/// `Duration` is an arithmetic value type: durations add/subtract, scale by
+/// dimensionless factors, and divide to yield dimensionless ratios.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanos(double ns) { return Duration{ns}; }
+  [[nodiscard]] static constexpr Duration micros(double us) { return Duration{us * 1e3}; }
+  [[nodiscard]] static constexpr Duration millis(double ms) { return Duration{ms * 1e6}; }
+  [[nodiscard]] static constexpr Duration seconds(double s) { return Duration{s * 1e9}; }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0.0}; }
+  /// A value larger than any reachable simulation time.
+  [[nodiscard]] static constexpr Duration infinite() { return Duration{1e300}; }
+
+  [[nodiscard]] constexpr double ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return ns_ * 1e-3; }
+  [[nodiscard]] constexpr double ms() const { return ns_ * 1e-6; }
+  [[nodiscard]] constexpr double sec() const { return ns_ * 1e-9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, double k) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator*(double k, Duration a) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator/(Duration a, double k) { return Duration{a.ns_ / k}; }
+  /// Ratio of two durations (dimensionless).
+  friend constexpr double operator/(Duration a, Duration b) { return a.ns_ / b.ns_; }
+
+  /// Human-readable rendering with an auto-selected scale, e.g. "12.34 us".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit Duration(double ns) : ns_{ns} {}
+  double ns_ = 0.0;
+};
+
+[[nodiscard]] constexpr Duration max(Duration a, Duration b) { return a > b ? a : b; }
+[[nodiscard]] constexpr Duration min(Duration a, Duration b) { return a < b ? a : b; }
+
+/// A data volume in bytes. Stored as unsigned 64-bit; arithmetic asserts are
+/// left to callers (volumes in this simulator never exceed a few TB).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t b) : b_{b} {}
+
+  [[nodiscard]] static constexpr Bytes kib(double k) { return Bytes{static_cast<std::uint64_t>(k * 1024.0)}; }
+  [[nodiscard]] static constexpr Bytes mib(double m) { return Bytes{static_cast<std::uint64_t>(m * 1024.0 * 1024.0)}; }
+  [[nodiscard]] static constexpr Bytes gib(double g) {
+    return Bytes{static_cast<std::uint64_t>(g * 1024.0 * 1024.0 * 1024.0)};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return b_; }
+  [[nodiscard]] constexpr double as_kib() const { return static_cast<double>(b_) / 1024.0; }
+  [[nodiscard]] constexpr double as_mib() const { return static_cast<double>(b_) / (1024.0 * 1024.0); }
+  [[nodiscard]] constexpr double as_gib() const { return static_cast<double>(b_) / (1024.0 * 1024.0 * 1024.0); }
+  /// Decimal gigabytes (1e9), the unit used for link bandwidth comparisons.
+  [[nodiscard]] constexpr double as_gb() const { return static_cast<double>(b_) * 1e-9; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes other) {
+    b_ += other.b_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes{a.b_ + b.b_}; }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes{a.b_ - b.b_}; }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t k) { return Bytes{a.b_ * k}; }
+  friend constexpr Bytes operator*(std::uint64_t k, Bytes a) { return Bytes{a.b_ * k}; }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::uint64_t b_ = 0;
+};
+
+/// A transfer or processing rate in bytes per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bytes_per_sec(double bps) { return Bandwidth{bps}; }
+  /// Decimal GB/s, the convention used for PCIe/DRAM datasheet numbers.
+  [[nodiscard]] static constexpr Bandwidth gbps(double gb) { return Bandwidth{gb * 1e9}; }
+
+  [[nodiscard]] constexpr double as_bytes_per_sec() const { return bps_; }
+  [[nodiscard]] constexpr double as_gbps() const { return bps_ * 1e-9; }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) { return Bandwidth{a.bps_ * k}; }
+  friend constexpr Bandwidth operator*(double k, Bandwidth a) { return Bandwidth{a.bps_ * k}; }
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) { return Bandwidth{a.bps_ + b.bps_}; }
+  friend constexpr double operator/(Bandwidth a, Bandwidth b) { return a.bps_ / b.bps_; }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit Bandwidth(double bps) : bps_{bps} {}
+  double bps_ = 0.0;
+};
+
+/// Ideal (overhead-free) time to move `volume` at rate `rate`.
+[[nodiscard]] constexpr Duration transfer_time(Bytes volume, Bandwidth rate) {
+  return Duration::seconds(static_cast<double>(volume.count()) / rate.as_bytes_per_sec());
+}
+
+/// Compute throughput in floating-point operations per second.
+class Flops {
+ public:
+  constexpr Flops() = default;
+  [[nodiscard]] static constexpr Flops tflops(double t) { return Flops{t * 1e12}; }
+  [[nodiscard]] static constexpr Flops gflops(double g) { return Flops{g * 1e9}; }
+  [[nodiscard]] constexpr double as_flops_per_sec() const { return fps_; }
+  [[nodiscard]] constexpr double as_tflops() const { return fps_ * 1e-12; }
+  constexpr auto operator<=>(const Flops&) const = default;
+  friend constexpr Flops operator*(Flops a, double k) { return Flops{a.fps_ * k}; }
+
+ private:
+  constexpr explicit Flops(double fps) : fps_{fps} {}
+  double fps_ = 0.0;
+};
+
+/// Ideal time to execute `flop` floating-point operations at rate `rate`.
+[[nodiscard]] constexpr Duration compute_time(double flop, Flops rate) {
+  return Duration::seconds(flop / rate.as_flops_per_sec());
+}
+
+}  // namespace monde

@@ -1,0 +1,32 @@
+#include "compute/cpu.hpp"
+
+#include "common/error.hpp"
+
+namespace monde::compute {
+
+CpuSpec CpuSpec::xeon_silver_4310() {
+  CpuSpec s;
+  s.name = "Xeon-Silver-4310";
+  s.mem_bandwidth = Bandwidth::gbps(187.0);
+  return s;
+}
+
+CpuModel::CpuModel(CpuSpec spec) : spec_{std::move(spec)} {
+  MONDE_REQUIRE(spec_.mem_bandwidth.as_gbps() > 0.0, "CPU bandwidth must be positive");
+  MONDE_REQUIRE(spec_.stream_efficiency > 0.0 && spec_.stream_efficiency <= 1.0,
+                "stream efficiency must be in (0, 1]");
+}
+
+Duration CpuModel::gemm_time(const GemmShape& shape, DataType dt) const {
+  if (shape.m <= 0 || shape.n <= 0 || shape.k <= 0) return Duration::zero();
+  const Duration compute = compute_time(shape.flops(), spec_.effective_gemm_flops);
+  const Duration memory = transfer_time(shape.total_bytes(dt), effective_bandwidth());
+  return spec_.op_overhead + max(compute, memory);
+}
+
+Duration CpuModel::expert_time(const ExpertShape& expert, DataType dt) const {
+  if (expert.tokens <= 0) return Duration::zero();
+  return gemm_time(expert.linear1(), dt) + gemm_time(expert.linear2(), dt);
+}
+
+}  // namespace monde::compute

@@ -1,0 +1,49 @@
+// CPU timing model for the CPU+AM baseline (paper Figure 8).
+//
+// The paper runs expert FFNs on a Xeon Silver 4310 through PyTorch's CPU
+// backend with bf16 tensors. Two effects dominate and are modeled here:
+//  * bf16 CPU GEMM runs far below the AVX-512 fp32 peak (PyTorch upconverts
+//    and is poorly threaded at small token counts) -> low effective FLOPs;
+//  * streaming bandwidth is derated by NUMA-remote accesses and imperfect
+//    prefetch (the paper calls this out explicitly in Section 4.2).
+#pragma once
+
+#include <string>
+
+#include "compute/gemm.hpp"
+
+namespace monde::compute {
+
+/// Static description of the host CPU.
+struct CpuSpec {
+  std::string name;
+  Bandwidth mem_bandwidth;          ///< datasheet aggregate (paper: 187 GB/s)
+  double stream_efficiency = 0.55;  ///< achieved fraction for streaming GEMV
+  Flops effective_gemm_flops = Flops::gflops(150.0);  ///< PyTorch bf16 path
+  Duration op_overhead = Duration::micros(25.0);  ///< dispatch + OMP fork/join
+
+  /// Intel Xeon Silver 4310 (paper Table 2): 187 GB/s memory bandwidth.
+  [[nodiscard]] static CpuSpec xeon_silver_4310();
+};
+
+/// Roofline CPU kernel timing with fixed per-op overhead.
+class CpuModel {
+ public:
+  explicit CpuModel(CpuSpec spec);
+
+  [[nodiscard]] const CpuSpec& spec() const { return spec_; }
+
+  [[nodiscard]] Bandwidth effective_bandwidth() const {
+    return spec_.mem_bandwidth * spec_.stream_efficiency;
+  }
+
+  [[nodiscard]] Duration gemm_time(const GemmShape& shape, DataType dt) const;
+
+  /// Latency of one expert FFN on the CPU.
+  [[nodiscard]] Duration expert_time(const ExpertShape& expert, DataType dt) const;
+
+ private:
+  CpuSpec spec_;
+};
+
+}  // namespace monde::compute

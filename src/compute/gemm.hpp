@@ -1,0 +1,86 @@
+// GEMM workload descriptors shared by all compute-timing models.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace monde::compute {
+
+/// Element datatype. The paper evaluates with bfloat16.
+enum class DataType : std::uint8_t { kBf16, kFp16, kFp32 };
+
+[[nodiscard]] constexpr int bytes_per_element(DataType dt) {
+  switch (dt) {
+    case DataType::kBf16:
+    case DataType::kFp16:
+      return 2;
+    case DataType::kFp32:
+      return 4;
+  }
+  return 2;
+}
+
+/// C[m x n] = A[m x k] * B[k x n].
+struct GemmShape {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+
+  [[nodiscard]] constexpr double flops() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+  }
+  [[nodiscard]] constexpr Bytes a_bytes(DataType dt) const {
+    return Bytes{static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(k) *
+                 static_cast<std::uint64_t>(bytes_per_element(dt))};
+  }
+  [[nodiscard]] constexpr Bytes b_bytes(DataType dt) const {
+    return Bytes{static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(n) *
+                 static_cast<std::uint64_t>(bytes_per_element(dt))};
+  }
+  [[nodiscard]] constexpr Bytes c_bytes(DataType dt) const {
+    return Bytes{static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+                 static_cast<std::uint64_t>(bytes_per_element(dt))};
+  }
+  /// Minimum DRAM traffic assuming each operand is touched once.
+  [[nodiscard]] constexpr Bytes total_bytes(DataType dt) const {
+    return a_bytes(dt) + b_bytes(dt) + c_bytes(dt);
+  }
+  /// FLOPs per byte of minimum traffic.
+  [[nodiscard]] constexpr double arithmetic_intensity(DataType dt) const {
+    return flops() / static_cast<double>(total_bytes(dt).count());
+  }
+
+  bool operator==(const GemmShape&) const = default;
+};
+
+/// An expert FFN: two back-to-back GEMMs with an activation in between
+/// (paper Section 2.1). `tokens` rows through [dmodel x dff] then
+/// [dff x dmodel].
+struct ExpertShape {
+  std::int64_t tokens = 0;
+  std::int64_t dmodel = 0;
+  std::int64_t dff = 0;
+
+  [[nodiscard]] constexpr GemmShape linear1() const { return {tokens, dff, dmodel}; }
+  [[nodiscard]] constexpr GemmShape linear2() const { return {tokens, dmodel, dff}; }
+  [[nodiscard]] constexpr double flops() const { return linear1().flops() + linear2().flops(); }
+  /// Parameter bytes of one expert: 2 * dmodel * dff elements (Equation 1's
+  /// per-expert term).
+  [[nodiscard]] constexpr Bytes weight_bytes(DataType dt) const {
+    return Bytes{std::uint64_t{2} * static_cast<std::uint64_t>(dmodel) *
+                 static_cast<std::uint64_t>(dff) *
+                 static_cast<std::uint64_t>(bytes_per_element(dt))};
+  }
+  /// Input+output activation bytes for this expert (Equation 2's per-token
+  /// term: 2 * tokens * dmodel elements).
+  [[nodiscard]] constexpr Bytes activation_bytes(DataType dt) const {
+    return Bytes{std::uint64_t{2} * static_cast<std::uint64_t>(tokens) *
+                 static_cast<std::uint64_t>(dmodel) *
+                 static_cast<std::uint64_t>(bytes_per_element(dt))};
+  }
+
+  bool operator==(const ExpertShape&) const = default;
+};
+
+}  // namespace monde::compute

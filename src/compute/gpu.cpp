@@ -1,0 +1,56 @@
+#include "compute/gpu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace monde::compute {
+
+GpuSpec GpuSpec::a100_pcie_40gb() {
+  GpuSpec s;
+  s.name = "A100-PCIe-40GB";
+  s.peak_flops = Flops::tflops(312.0);
+  s.hbm_bandwidth = Bandwidth::gbps(1555.0);
+  s.memory_capacity = Bytes::gib(40.0);
+  return s;
+}
+
+GpuModel::GpuModel(GpuSpec spec) : spec_{std::move(spec)} {
+  MONDE_REQUIRE(spec_.peak_flops.as_flops_per_sec() > 0.0, "GPU peak FLOPs must be positive");
+  MONDE_REQUIRE(spec_.hbm_bandwidth.as_gbps() > 0.0, "GPU HBM bandwidth must be positive");
+  MONDE_REQUIRE(spec_.max_compute_utilization > 0.0 && spec_.max_compute_utilization <= 1.0,
+                "utilization must be in (0, 1]");
+}
+
+Flops GpuModel::effective_flops(const GemmShape& shape) const {
+  // Tile quantization: tensor cores want >= rows_for_full_utilization rows;
+  // below that, whole warps of the MMA tile are idle. Clamp to a floor so a
+  // 1-token GEMM still makes progress.
+  const double row_frac =
+      std::min(1.0, static_cast<double>(std::max<std::int64_t>(shape.m, 4)) /
+                        static_cast<double>(spec_.rows_for_full_utilization));
+  const double util = std::max(0.02, spec_.max_compute_utilization * row_frac);
+  return spec_.peak_flops * util;
+}
+
+Duration GpuModel::gemm_time(const GemmShape& shape, DataType dt) const {
+  if (shape.m <= 0 || shape.n <= 0 || shape.k <= 0) return Duration::zero();
+  const Duration compute = compute_time(shape.flops(), effective_flops(shape));
+  const Duration memory =
+      transfer_time(shape.total_bytes(dt), spec_.hbm_bandwidth * spec_.hbm_efficiency);
+  return spec_.kernel_launch + max(compute, memory);
+}
+
+Duration GpuModel::expert_time(const ExpertShape& expert, DataType dt) const {
+  if (expert.tokens <= 0) return Duration::zero();
+  // The activation between the linears is fused into linear1's epilogue
+  // (the paper's gemm+relu kernel), so no separate elementwise pass.
+  return gemm_time(expert.linear1(), dt) + gemm_time(expert.linear2(), dt);
+}
+
+Duration GpuModel::elementwise_time(Bytes bytes) const {
+  return spec_.kernel_launch +
+         transfer_time(bytes, spec_.hbm_bandwidth * spec_.hbm_efficiency);
+}
+
+}  // namespace monde::compute

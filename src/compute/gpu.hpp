@@ -1,0 +1,57 @@
+// GPU timing model.
+//
+// The paper obtains GPU-side latencies from Nsight profiles of an A100; we
+// substitute a roofline model with (a) a tensor-core utilization curve that
+// penalizes skinny GEMMs (few routed tokens -> low occupancy, the effect
+// Figure 2(c) measures), (b) HBM bandwidth derating, and (c) fixed kernel
+// launch overhead. Calibration constants are documented inline.
+#pragma once
+
+#include <string>
+
+#include "compute/gemm.hpp"
+
+namespace monde::compute {
+
+/// Static description of one GPU.
+struct GpuSpec {
+  std::string name;
+  Flops peak_flops;          ///< dense tensor-core peak for the datatype
+  Bandwidth hbm_bandwidth;   ///< datasheet HBM bandwidth
+  Bytes memory_capacity;
+  Duration kernel_launch = Duration::micros(6.0);  ///< CUDA launch + sync amortized
+  double max_compute_utilization = 0.62;  ///< large-GEMM fraction of peak
+  double hbm_efficiency = 0.78;           ///< achieved / datasheet bandwidth
+  /// Rows (tokens) needed to reach full tensor-core utilization; below this
+  /// the effective FLOPs scale ~linearly (tile quantization).
+  std::int64_t rows_for_full_utilization = 256;
+
+  /// NVIDIA A100-PCIe-40GB, bf16 tensor ops: 312 TFLOPS, 1555 GB/s.
+  [[nodiscard]] static GpuSpec a100_pcie_40gb();
+};
+
+/// Roofline-with-overheads GPU kernel timing.
+class GpuModel {
+ public:
+  explicit GpuModel(GpuSpec spec);
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+
+  /// Effective compute throughput for a GEMM of `shape` (utilization curve).
+  [[nodiscard]] Flops effective_flops(const GemmShape& shape) const;
+
+  /// Latency of one GEMM kernel (launch + max(compute, memory) roofline).
+  [[nodiscard]] Duration gemm_time(const GemmShape& shape, DataType dt) const;
+
+  /// Latency of one expert FFN (two GEMMs + fused activation).
+  [[nodiscard]] Duration expert_time(const ExpertShape& expert, DataType dt) const;
+
+  /// Elementwise / reduction op over `bytes` of traffic (LayerNorm, softmax,
+  /// residual adds, gating combine): bandwidth-bound plus launch cost.
+  [[nodiscard]] Duration elementwise_time(Bytes bytes) const;
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace monde::compute

@@ -1,0 +1,80 @@
+#include "compute/transformer.hpp"
+
+#include "common/error.hpp"
+
+namespace monde::compute {
+
+TransformerCostModel::TransformerCostModel(const GpuModel& gpu, DataType dtype)
+    : gpu_{gpu}, dtype_{dtype} {}
+
+Duration TransformerCostModel::attention_time(std::int64_t rows, std::int64_t kv_len,
+                                              std::int64_t dmodel) const {
+  MONDE_REQUIRE(rows > 0 && kv_len > 0 && dmodel > 0, "attention dims must be positive");
+  Duration t = Duration::zero();
+  // Fused QKV projection: rows x 3*dmodel x dmodel.
+  t += gpu_.gemm_time({rows, 3 * dmodel, dmodel}, dtype_);
+  // Scores (rows x kv_len over dmodel) and context (rows x dmodel over kv_len);
+  // head count cancels out of the FLOP total.
+  t += gpu_.gemm_time({rows, kv_len, dmodel}, dtype_);
+  t += gpu_.gemm_time({rows, dmodel, kv_len}, dtype_);
+  // Output projection.
+  t += gpu_.gemm_time({rows, dmodel, dmodel}, dtype_);
+  return t;
+}
+
+BlockCostBreakdown TransformerCostModel::encoder_block(std::int64_t batch, std::int64_t seq_len,
+                                                       std::int64_t dmodel, std::int64_t dff,
+                                                       bool dense_ffn) const {
+  MONDE_REQUIRE(batch > 0 && seq_len > 0, "encoder block needs tokens");
+  const std::int64_t rows = batch * seq_len;
+  BlockCostBreakdown cost;
+  // Each sequence attends within itself; FLOP-wise this equals `rows` query
+  // rows against `seq_len` keys.
+  cost.attention = attention_time(rows, seq_len, dmodel);
+  if (dense_ffn) {
+    cost.dense_ffn = gpu_.expert_time({rows, dmodel, dff}, dtype_);
+  }
+  // 2x LayerNorm + 2x residual + softmax traffic: ~8 passes over rows*dmodel.
+  const Bytes elem{static_cast<std::uint64_t>(8 * rows * dmodel * bytes_per_element(dtype_))};
+  cost.elementwise = gpu_.elementwise_time(elem);
+  return cost;
+}
+
+BlockCostBreakdown TransformerCostModel::decoder_block(std::int64_t batch, std::int64_t past_len,
+                                                       std::int64_t cross_len,
+                                                       std::int64_t dmodel, std::int64_t dff,
+                                                       bool dense_ffn) const {
+  MONDE_REQUIRE(batch > 0, "decoder block needs tokens");
+  MONDE_REQUIRE(past_len >= 1, "decoder past length must include the current token");
+  BlockCostBreakdown cost;
+  cost.attention = attention_time(batch, past_len, dmodel);
+  if (cross_len > 0) cost.attention += attention_time(batch, cross_len, dmodel);
+  if (dense_ffn) {
+    cost.dense_ffn = gpu_.expert_time({batch, dmodel, dff}, dtype_);
+  }
+  const std::int64_t norm_count = cross_len > 0 ? 12 : 8;
+  const Bytes elem{
+      static_cast<std::uint64_t>(norm_count * batch * dmodel * bytes_per_element(dtype_))};
+  cost.elementwise = gpu_.elementwise_time(elem);
+  return cost;
+}
+
+Duration TransformerCostModel::gating_time(std::int64_t tokens, std::int64_t num_experts,
+                                           std::int64_t dmodel) const {
+  MONDE_REQUIRE(tokens > 0 && num_experts > 0, "gating needs tokens and experts");
+  Duration t = gpu_.gemm_time({tokens, num_experts, dmodel}, dtype_);
+  // Softmax + top-k + scatter of token rows to expert-ordered buffers.
+  const Bytes traffic{
+      static_cast<std::uint64_t>(2 * tokens * dmodel * bytes_per_element(dtype_))};
+  t += gpu_.elementwise_time(traffic);
+  return t;
+}
+
+Duration TransformerCostModel::combine_time(std::int64_t tokens, std::int64_t dmodel) const {
+  MONDE_REQUIRE(tokens > 0, "combine needs tokens");
+  const Bytes traffic{
+      static_cast<std::uint64_t>(2 * tokens * dmodel * bytes_per_element(dtype_))};
+  return gpu_.elementwise_time(traffic);
+}
+
+}  // namespace monde::compute

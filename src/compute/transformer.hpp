@@ -1,0 +1,61 @@
+// Cost model for the non-expert parts of a transformer block.
+//
+// End-to-end throughput (paper Figure 6) includes attention, layer norms,
+// gating, and dense FFN blocks that always execute on the GPU regardless of
+// the expert-offload strategy. This model prices them with the GPU roofline.
+// Both evaluated models are encoder-decoder stacks; decoder blocks carry
+// self-attention with a KV cache plus cross-attention to the encoder output.
+#pragma once
+
+#include <cstdint>
+
+#include "compute/gpu.hpp"
+
+namespace monde::compute {
+
+/// Per-block latency contributions of non-MoE work.
+struct BlockCostBreakdown {
+  Duration attention = Duration::zero();
+  Duration dense_ffn = Duration::zero();   ///< zero for MoE blocks
+  Duration elementwise = Duration::zero(); ///< norms, residuals, softmax
+  [[nodiscard]] Duration total() const { return attention + dense_ffn + elementwise; }
+};
+
+/// Prices attention / dense-FFN / gating work on a GpuModel.
+class TransformerCostModel {
+ public:
+  TransformerCostModel(const GpuModel& gpu, DataType dtype);
+
+  /// One encoder block processing `batch` sequences of `seq_len` tokens.
+  /// `dense_ffn` selects whether this block's FFN is a dense FFN (true) or
+  /// an MoE FFN (false; expert cost is priced by the strategy instead).
+  [[nodiscard]] BlockCostBreakdown encoder_block(std::int64_t batch, std::int64_t seq_len,
+                                                 std::int64_t dmodel, std::int64_t dff,
+                                                 bool dense_ffn) const;
+
+  /// One decoder block for a single autoregressive step: `batch` new tokens
+  /// attending over `past_len` cached positions, plus cross-attention over
+  /// `cross_len` encoder positions (0 disables cross-attention).
+  [[nodiscard]] BlockCostBreakdown decoder_block(std::int64_t batch, std::int64_t past_len,
+                                                 std::int64_t cross_len, std::int64_t dmodel,
+                                                 std::int64_t dff, bool dense_ffn) const;
+
+  /// Gating network: router GEMM (tokens x E x dmodel) + softmax/top-k +
+  /// dispatch scatter. Runs on the GPU before any expert computation.
+  [[nodiscard]] Duration gating_time(std::int64_t tokens, std::int64_t num_experts,
+                                     std::int64_t dmodel) const;
+
+  /// Combine: weighted gather of expert outputs back into token order.
+  [[nodiscard]] Duration combine_time(std::int64_t tokens, std::int64_t dmodel) const;
+
+  [[nodiscard]] DataType dtype() const { return dtype_; }
+
+ private:
+  [[nodiscard]] Duration attention_time(std::int64_t rows, std::int64_t kv_len,
+                                        std::int64_t dmodel) const;
+
+  const GpuModel& gpu_;
+  DataType dtype_;
+};
+
+}  // namespace monde::compute

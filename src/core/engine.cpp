@@ -1,0 +1,134 @@
+#include "core/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace monde::core {
+
+InferenceEngine::InferenceEngine(SystemConfig sys, moe::MoeModelConfig model,
+                                 moe::SkewProfile profile, StrategyKind kind,
+                                 std::uint64_t seed,
+                                 std::shared_ptr<ndp::NdpCoreSim> shared_sim)
+    : sys_{std::move(sys)},
+      model_{std::move(model)},
+      gpu_{sys_.gpu},
+      cpu_{sys_.cpu},
+      xformer_{gpu_, model_.dtype},
+      // Callers benchmarking several strategies on the same platform should
+      // pass a shared simulator so expert-shape latencies memoize across
+      // engines (the sim depends only on NdpSpec + DRAM spec).
+      ndp_sim_{shared_sim ? std::move(shared_sim)
+                          : std::make_shared<ndp::NdpCoreSim>(sys_.ndp, sys_.monde_mem)},
+      workload_{model_, profile, seed} {
+  sys_.validate();
+  model_.validate();
+  MONDE_REQUIRE(model_.moe_every > 0, "InferenceEngine needs an MoE model");
+
+  // Instantiate MoNDE devices and make the expert working set resident,
+  // sharded round-robin across devices (Section 3.3).
+  for (int d = 0; d < sys_.num_monde_devices; ++d) {
+    devices_.push_back(std::make_unique<MondeDevice>(d, ndp_sim_));
+    devices_.back()->place_model(model_, sys_.num_monde_devices);
+  }
+  strategy_ = make_strategy(kind, make_context());
+}
+
+StrategyContext InferenceEngine::make_context() {
+  StrategyContext ctx;
+  ctx.sys = &sys_;
+  ctx.model = &model_;
+  ctx.gpu = &gpu_;
+  ctx.cpu = &cpu_;
+  ctx.xformer = &xformer_;
+  for (auto& d : devices_) ctx.devices.push_back(d.get());
+  return ctx;
+}
+
+RunReport InferenceEngine::run_encoder(std::int64_t batch, std::int64_t seq_len) {
+  MONDE_REQUIRE(batch > 0 && seq_len > 0, "encoder run needs tokens");
+  sim::StreamSchedule sched;
+  const HwStreams hw = HwStreams::create(sched, sys_);
+  moe::EncoderPass pass = workload_.encoder_pass(batch, seq_len);
+
+  RunReport report;
+  report.strategy = strategy_->name();
+  report.phase = "encoder";
+  report.tokens = static_cast<std::uint64_t>(batch * seq_len);
+
+  Duration t = Duration::zero();
+  std::size_t moe_idx = 0;
+  for (int block = 0; block < model_.encoder_blocks; ++block) {
+    const bool is_moe = model_.is_moe_block(block);
+    const auto cost =
+        xformer_.encoder_block(batch, seq_len, model_.dmodel, model_.dff, !is_moe);
+    const Duration block_time = cost.total() + sys_.framework_block_overhead;
+    const auto iv = sched.place(hw.gpu, t, block_time,
+                                "enc block " + std::to_string(block), "block");
+    report.non_moe += block_time;
+    t = iv.end;
+    if (is_moe) {
+      MONDE_ASSERT(moe_idx < pass.moe_layers.size(), "MoE layer/work mismatch");
+      const MoeLayerResult res = strategy_->run_layer(pass.moe_layers[moe_idx], sched, hw, t);
+      report.moe += res.latency();
+      report.layers.push_back(res);
+      t = res.end;
+      ++moe_idx;
+    }
+  }
+  MONDE_ASSERT(moe_idx == pass.moe_layers.size(), "unused MoE layer work");
+  report.total = t;
+  report.timeline = sched.timeline();
+  report.stream_names = sched.stream_names();
+  return report;
+}
+
+RunReport InferenceEngine::run_decoder(std::int64_t batch, std::int64_t steps,
+                                       std::int64_t cross_len) {
+  MONDE_REQUIRE(batch > 0 && steps > 0, "decoder run needs tokens");
+  sim::StreamSchedule sched;
+  const HwStreams hw = HwStreams::create(sched, sys_);
+  const auto step_works = workload_.decoder_steps(batch, steps);
+
+  RunReport report;
+  report.strategy = strategy_->name();
+  report.phase = "decoder";
+  report.tokens = static_cast<std::uint64_t>(batch * steps);
+
+  Duration t = Duration::zero();
+  for (std::int64_t s = 0; s < steps; ++s) {
+    std::size_t moe_idx = 0;
+    for (int block = 0; block < model_.decoder_blocks; ++block) {
+      const bool is_moe = model_.is_moe_block(block);
+      const auto cost = xformer_.decoder_block(batch, s + 1, cross_len, model_.dmodel,
+                                               model_.dff, !is_moe);
+      const Duration block_time = cost.total() + sys_.framework_block_overhead;
+      const auto iv = sched.place(
+          hw.gpu, t, block_time,
+          "dec s" + std::to_string(s) + " block " + std::to_string(block), "block");
+      report.non_moe += block_time;
+      t = iv.end;
+      if (is_moe) {
+        const MoeLayerResult res =
+            strategy_->run_layer(step_works[static_cast<std::size_t>(s)].moe_layers[moe_idx],
+                                 sched, hw, t);
+        report.moe += res.latency();
+        report.layers.push_back(res);
+        t = res.end;
+        ++moe_idx;
+      }
+    }
+    // LM head projection over the vocabulary plus host-side step overhead
+    // (sampling, KV-cache bookkeeping).
+    const Duration lm =
+        gpu_.gemm_time({batch, model_.vocab_size, model_.dmodel}, model_.dtype);
+    const auto head = sched.place(hw.gpu, t, lm + sys_.framework_step_overhead,
+                                  "lm head s" + std::to_string(s), "block");
+    report.non_moe += lm + sys_.framework_step_overhead;
+    t = head.end;
+  }
+  report.total = t;
+  report.timeline = sched.timeline();
+  report.stream_names = sched.stream_names();
+  return report;
+}
+
+}  // namespace monde::core

@@ -1,0 +1,75 @@
+// End-to-end MoE transformer inference engine.
+//
+// Assembles the platform (GPU/CPU models, MoNDE devices, links), generates
+// routed workloads, and simulates full encoder passes and autoregressive
+// decoder runs under a chosen expert-execution strategy. Produces latency /
+// throughput reports plus the full hardware-stream timeline (Figure 5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compute/cpu.hpp"
+#include "compute/gpu.hpp"
+#include "compute/transformer.hpp"
+#include "core/monde_device.hpp"
+#include "core/strategy.hpp"
+#include "core/system_config.hpp"
+#include "moe/workload.hpp"
+
+namespace monde::core {
+
+/// Result of one simulated run (an encoder pass or a decoder generation).
+struct RunReport {
+  std::string strategy;
+  std::string phase;  ///< "encoder" or "decoder"
+  Duration total = Duration::zero();
+  Duration non_moe = Duration::zero();  ///< attention, dense FFN, norms
+  Duration moe = Duration::zero();      ///< gating -> combine, per layer sum
+  std::uint64_t tokens = 0;             ///< tokens produced/processed
+  std::vector<MoeLayerResult> layers;
+  sim::Timeline timeline;
+  std::vector<std::string> stream_names;
+
+  [[nodiscard]] double throughput_tokens_per_s() const {
+    return total > Duration::zero() ? static_cast<double>(tokens) / total.sec() : 0.0;
+  }
+};
+
+/// Owns the simulated platform and runs inference under one strategy.
+class InferenceEngine {
+ public:
+  InferenceEngine(SystemConfig sys, moe::MoeModelConfig model, moe::SkewProfile profile,
+                  StrategyKind kind, std::uint64_t seed = 42,
+                  std::shared_ptr<ndp::NdpCoreSim> shared_sim = nullptr);
+
+  /// One encoder pass over `batch` sequences of `seq_len` tokens.
+  RunReport run_encoder(std::int64_t batch, std::int64_t seq_len);
+
+  /// `steps` autoregressive decoder steps for `batch` sequences, with
+  /// cross-attention over `cross_len` encoder positions.
+  RunReport run_decoder(std::int64_t batch, std::int64_t steps, std::int64_t cross_len = 512);
+
+  [[nodiscard]] Strategy& strategy() { return *strategy_; }
+  [[nodiscard]] const SystemConfig& system() const { return sys_; }
+  [[nodiscard]] const moe::MoeModelConfig& model() const { return model_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<MondeDevice>>& devices() const {
+    return devices_;
+  }
+
+ private:
+  [[nodiscard]] StrategyContext make_context();
+
+  SystemConfig sys_;
+  moe::MoeModelConfig model_;
+  compute::GpuModel gpu_;
+  compute::CpuModel cpu_;
+  compute::TransformerCostModel xformer_;
+  std::shared_ptr<ndp::NdpCoreSim> ndp_sim_;
+  std::vector<std::unique_ptr<MondeDevice>> devices_;
+  std::unique_ptr<Strategy> strategy_;
+  moe::WorkloadGenerator workload_;
+};
+
+}  // namespace monde::core

@@ -1,0 +1,53 @@
+// GPU-resident expert cache (extension beyond the paper).
+//
+// The paper's GPU+PM baseline re-fetches every activated expert on demand
+// and evicts it afterwards. Spare GPU memory can instead hold an LRU cache
+// of recently used experts; because the routing popularity is heavily
+// skewed and stable across decode steps (Figure 3), the hot experts hit
+// almost always. This is the natural "future work" optimization the paper's
+// on-demand PMove leaves on the table, and the PMove-side strategies use it
+// when SystemConfig::gpu_expert_cache_bytes is non-zero.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "core/monde_device.hpp"
+
+namespace monde::core {
+
+/// Fixed-capacity LRU set of experts resident in GPU memory.
+class ExpertCache {
+ public:
+  /// `capacity` experts; 0 disables caching (every access misses).
+  explicit ExpertCache(std::size_t capacity);
+
+  /// Look up an expert; a hit refreshes its recency. Returns hit/miss.
+  bool access(ExpertId id);
+
+  /// Insert after a miss fetch; evicts the least-recently-used expert when
+  /// full. Inserting an already-present expert only refreshes recency.
+  void insert(ExpertId id);
+
+  [[nodiscard]] bool contains(ExpertId id) const { return index_.count(id) > 0; }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::list<ExpertId> lru_;  ///< front = most recent
+  std::map<ExpertId, std::list<ExpertId>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace monde::core

@@ -1,0 +1,157 @@
+// MoE expert-execution strategies (paper Sections 3.2-3.3, Figure 5).
+//
+// A Strategy schedules one routed MoE layer onto the platform's parallel
+// hardware streams:
+//
+//   GPU        compute stream of the primary GPU
+//   GPU-1      second GPU (multi-GPU expert parallelism only)
+//   PCIe-G2M   GPU egress:  AMove input activations
+//   PCIe-M2G   GPU ingress: PMove expert weights + AMove output activations
+//   Host       driver work: NDP instruction issue, done-register polling
+//   MoNDE-i    NDP compute stream of MoNDE device i
+//   CPU        host CPU expert compute (CPU+AM baseline)
+//
+// matching the stream layout of Figure 5. The schedule is deterministic
+// list scheduling (sim::StreamSchedule); the resulting Timeline doubles as
+// the Figure 5 workflow trace.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compute/cpu.hpp"
+#include "compute/gpu.hpp"
+#include "compute/transformer.hpp"
+#include "core/expert_cache.hpp"
+#include "core/monde_device.hpp"
+#include "core/system_config.hpp"
+#include "moe/gating.hpp"
+#include "moe/model_config.hpp"
+#include "sim/timeline.hpp"
+
+namespace monde::core {
+
+/// Stream handles shared by the engine and strategies.
+struct HwStreams {
+  sim::StreamId gpu;
+  sim::StreamId gpu2;      ///< only meaningful when the config has 2+ GPUs
+  sim::StreamId pcie_g2m;
+  sim::StreamId pcie_m2g;
+  sim::StreamId host;
+  sim::StreamId cpu;
+  std::vector<sim::StreamId> ndp;  ///< one per MoNDE device
+
+  /// Registers all streams on `sched` according to `sys`.
+  [[nodiscard]] static HwStreams create(sim::StreamSchedule& sched, const SystemConfig& sys);
+};
+
+/// Shared, non-owning view of the platform models a strategy prices against.
+struct StrategyContext {
+  const SystemConfig* sys = nullptr;
+  const moe::MoeModelConfig* model = nullptr;
+  const compute::GpuModel* gpu = nullptr;
+  const compute::CpuModel* cpu = nullptr;
+  const compute::TransformerCostModel* xformer = nullptr;
+  std::vector<MondeDevice*> devices;
+
+  [[nodiscard]] compute::DataType dtype() const { return model->dtype; }
+  [[nodiscard]] compute::ExpertShape expert_shape(std::int64_t tokens) const {
+    return {tokens, model->dmodel, model->dff};
+  }
+  /// Activation bytes for `routed` token-slots, one direction.
+  [[nodiscard]] Bytes activation_bytes(std::uint64_t routed) const {
+    return Bytes{routed * static_cast<std::uint64_t>(model->dmodel) *
+                 static_cast<std::uint64_t>(compute::bytes_per_element(model->dtype))};
+  }
+  void validate() const;
+};
+
+/// Accounting for one scheduled MoE layer.
+struct MoeLayerResult {
+  Duration start = Duration::zero();
+  Duration end = Duration::zero();
+  Duration gating = Duration::zero();
+  Duration combine = Duration::zero();
+  std::int64_t experts_gpu = 0;
+  std::int64_t experts_ndp = 0;
+  std::int64_t experts_cpu = 0;
+  Bytes pmove_bytes;
+  Bytes amove_bytes;
+  int h_value = -1;            ///< load-balanced strategy only
+  std::int64_t cache_hits = 0; ///< PMove transfers skipped via the expert cache
+
+  [[nodiscard]] Duration latency() const { return end - start; }
+};
+
+/// Available strategies (paper Section 4.2 configurations).
+enum class StrategyKind {
+  kIdealGpu,           ///< infinite GPU memory; experts compute in place
+  kGpuPmove,           ///< GPU+PM: on-demand expert fetch over PCIe
+  kMondeAmove,         ///< MD+AM: all experts on MoNDE NDP
+  kMondeLoadBalanced,  ///< MD+LB: hot experts on GPU, cold on MoNDE
+  kCpuAmove,           ///< CPU+AM: expert compute on the host CPU
+  kMultiGpu,           ///< 2-GPU expert parallelism (Figure 10)
+};
+
+[[nodiscard]] std::string to_string(StrategyKind kind);
+
+/// Base class: schedules routed MoE layers onto hardware streams.
+class Strategy {
+ public:
+  explicit Strategy(StrategyContext ctx);
+  virtual ~Strategy() = default;
+  Strategy(const Strategy&) = delete;
+  Strategy& operator=(const Strategy&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Schedule the layer starting no earlier than `ready` (attention output
+  /// available in GPU memory). Returns accounting with absolute times.
+  virtual MoeLayerResult run_layer(const moe::MoeLayerWork& work, sim::StreamSchedule& sched,
+                                   const HwStreams& hw, Duration ready) = 0;
+
+ protected:
+  /// Gating network + dispatch on the GPU stream; returns its end time.
+  Duration place_gating(const moe::MoeLayerWork& work, sim::StreamSchedule& sched,
+                        const HwStreams& hw, Duration ready, MoeLayerResult& result) const;
+  /// Combine (weighted gather) on the GPU stream.
+  Duration place_combine(const moe::MoeLayerWork& work, sim::StreamSchedule& sched,
+                         const HwStreams& hw, Duration ready, MoeLayerResult& result) const;
+
+  /// PMove pipeline: fetch each expert over PCIe (M->G) and run it on the
+  /// GPU as soon as its weights land; returns the last compute end time.
+  /// `layer_id` keys the optional GPU expert cache (transfers are skipped
+  /// for cache-resident experts).
+  Duration place_pmove_pipeline(const std::vector<std::pair<std::size_t, std::uint64_t>>& experts,
+                                int layer_id, sim::StreamSchedule& sched, const HwStreams& hw,
+                                Duration ready, sim::StreamId gpu_stream,
+                                MoeLayerResult& result);
+
+  /// AMove + NDP batch: ship activations to each device, run its experts
+  /// sequentially on the NDP, and retrieve outputs as kernels complete.
+  /// `per_device[i]` lists (expert index, tokens) for device i.
+  Duration place_ndp_batch(
+      const std::vector<std::vector<std::pair<std::size_t, std::uint64_t>>>& per_device,
+      sim::StreamSchedule& sched, const HwStreams& hw, Duration ready,
+      MoeLayerResult& result) const;
+
+  /// Distribute experts (already sorted by descending load) round-robin
+  /// across the configured MoNDE devices (paper Section 3.3, multi-device).
+  [[nodiscard]] std::vector<std::vector<std::pair<std::size_t, std::uint64_t>>>
+  round_robin_devices(const std::vector<std::pair<std::size_t, std::uint64_t>>& experts) const;
+
+ public:
+  /// The GPU expert cache, when SystemConfig::gpu_expert_cache_bytes > 0
+  /// (PMove-side strategies only); nullptr otherwise.
+  [[nodiscard]] const ExpertCache* expert_cache() const { return expert_cache_.get(); }
+
+ protected:
+  StrategyContext ctx_;
+  std::unique_ptr<ExpertCache> expert_cache_;
+};
+
+/// Factory covering every StrategyKind.
+[[nodiscard]] std::unique_ptr<Strategy> make_strategy(StrategyKind kind, StrategyContext ctx);
+
+}  // namespace monde::core

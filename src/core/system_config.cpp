@@ -1,0 +1,17 @@
+#include "core/system_config.hpp"
+
+#include "common/error.hpp"
+
+namespace monde::core {
+
+void SystemConfig::validate() const {
+  monde_mem.validate();
+  MONDE_REQUIRE(num_monde_devices >= 0 && num_monde_devices <= 64,
+                "unreasonable MoNDE device count");
+  MONDE_REQUIRE(num_gpus >= 1 && num_gpus <= 16, "unreasonable GPU count");
+  MONDE_REQUIRE(pcie.raw_bandwidth.as_gbps() > 0.0, "PCIe bandwidth must be positive");
+  MONDE_REQUIRE(cxl.raw_bandwidth.as_gbps() > 0.0, "CXL bandwidth must be positive");
+  MONDE_REQUIRE(done_poll >= Duration::zero(), "done_poll must be non-negative");
+}
+
+}  // namespace monde::core

@@ -1,0 +1,75 @@
+// Full-system hardware configuration (paper Table 2, bottom half).
+#pragma once
+
+#include "compute/cpu.hpp"
+#include "compute/gpu.hpp"
+#include "dram/spec.hpp"
+#include "interconnect/link.hpp"
+#include "ndp/ndp_spec.hpp"
+
+namespace monde::core {
+
+/// Everything the runtime needs to know about the platform.
+struct SystemConfig {
+  compute::GpuSpec gpu = compute::GpuSpec::a100_pcie_40gb();
+  compute::CpuSpec cpu = compute::CpuSpec::xeon_silver_4310();
+  /// The GPU's PCIe link; PMove rides M->G, AMove input rides G->M.
+  interconnect::LinkSpec pcie = interconnect::LinkSpec::pcie_gen4_x16();
+  /// CXL.mem path used for NDP instructions and MMIO (doorbell/done).
+  interconnect::LinkSpec cxl = interconnect::LinkSpec::cxl_mem_gen4_x16();
+  ndp::NdpSpec ndp = ndp::NdpSpec::monde_dac24();
+  dram::Spec monde_mem = dram::Spec::monde_lpddr5x_8533();
+  int num_monde_devices = 1;
+  int num_gpus = 1;
+
+  /// Host-side latency from the NDP done-register being raised to the host
+  /// observing it (MMIO poll interval).
+  Duration done_poll = Duration::micros(1.0);
+  /// Host framework cost per expert offloaded to an NDP/CPU backend: input
+  /// slicing, driver ioctl, completion arming. Serializes on the host
+  /// thread but is small enough to hide behind device execution.
+  Duration offload_dispatch_overhead = Duration::micros(25.0);
+  /// Device-side cost per offloaded expert kernel pair, paid on that
+  /// device's NDP stream: activation staging into the odd banks,
+  /// instruction fetch/decode, skew-unit fill/drain, output drain, and the
+  /// done-register handshake. Because it sits on the device, it scales down
+  /// with more MoNDE devices (Figure 9), unlike host dispatch. The value is
+  /// calibrated against the paper's Figure 6 magnitudes, whose measured
+  /// workflow retains per-expert overheads around this scale.
+  Duration ndp_expert_overhead = Duration::micros(110.0);
+  /// Host framework cost per GPU-resident expert launch (Ideal / PMove /
+  /// multi-GPU paths): the HuggingFace MoE implementation loops over
+  /// activated experts in Python regardless of where weights live, so even
+  /// the Ideal baseline pays this per expert.
+  Duration gpu_expert_dispatch = Duration::micros(100.0);
+  /// Spare GPU memory dedicated to an LRU cache of fetched experts
+  /// (extension beyond the paper; 0 = the paper's fetch-and-evict PMove).
+  /// Cached experts skip the PCIe transfer on re-activation.
+  Bytes gpu_expert_cache_bytes = Bytes{0};
+  /// Host framework (PyTorch-level) dispatch overhead per transformer block.
+  /// The paper's profiled latencies include this; it dominates decoder steps.
+  Duration framework_block_overhead = Duration::micros(150.0);
+  /// Per-decoder-step overhead: sampling, KV-cache bookkeeping, host sync.
+  Duration framework_step_overhead = Duration::millis(1.5);
+
+  /// Aggregate MoNDE memory bandwidth across devices (Equation 6's BW_MD).
+  [[nodiscard]] Bandwidth monde_aggregate_bandwidth() const {
+    return monde_mem.total_peak_bandwidth() * static_cast<double>(num_monde_devices);
+  }
+
+  /// The paper's evaluated platform: 1x A100 PCIe + PCIe Gen4 x16 + one
+  /// MoNDE device (512 GB / ~512 GB/s, 64x 4x4 arrays @ 1 GHz).
+  [[nodiscard]] static SystemConfig dac24() { return SystemConfig{}; }
+
+  /// Figure 7(b): scale MoNDE memory bandwidth and rate-match NDP compute.
+  [[nodiscard]] SystemConfig with_monde_bandwidth_scale(double factor) const {
+    SystemConfig s = *this;
+    s.monde_mem = monde_mem.with_bandwidth_scale(factor);
+    s.ndp = ndp.rate_matched(factor);
+    return s;
+  }
+
+  void validate() const;
+};
+
+}  // namespace monde::core

@@ -1,0 +1,378 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace monde::dram {
+
+Stats& Stats::operator+=(const Stats& o) {
+  reads_completed += o.reads_completed;
+  writes_completed += o.writes_completed;
+  row_hits += o.row_hits;
+  row_misses += o.row_misses;
+  row_conflicts += o.row_conflicts;
+  activates += o.activates;
+  precharges += o.precharges;
+  refreshes += o.refreshes;
+  data_bus_busy_cycles += o.data_bus_busy_cycles;
+  total_cycles = std::max(total_cycles, o.total_cycles);
+  read_latency_sum_ns += o.read_latency_sum_ns;
+  return *this;
+}
+
+ChannelController::ChannelController(const Spec& spec, const AddressMapper& mapper,
+                                     int channel_index)
+    : spec_{spec}, mapper_{mapper}, channel_{channel_index} {
+  banks_.resize(static_cast<std::size_t>(spec_.org.banks_per_channel()));
+  ranks_.resize(static_cast<std::size_t>(spec_.org.ranks));
+  // Stagger refresh across ranks so they do not all block simultaneously.
+  const int refi = spec_.timing.nREFI;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    ranks_[r].refresh_due =
+        static_cast<std::uint64_t>(refi) * (r + 1) / ranks_.size() + static_cast<std::uint64_t>(refi) / 8;
+  }
+}
+
+ChannelController::Bank& ChannelController::bank_at(const Address& a) {
+  const auto idx = static_cast<std::size_t>(a.rank * spec_.org.banks_per_rank() +
+                                            a.flat_bank(spec_.org));
+  return banks_[idx];
+}
+
+const ChannelController::Bank& ChannelController::bank_at(const Address& a) const {
+  const auto idx = static_cast<std::size_t>(a.rank * spec_.org.banks_per_rank() +
+                                            a.flat_bank(spec_.org));
+  return banks_[idx];
+}
+
+bool ChannelController::can_accept() const {
+  return read_q_.size() < kQueueCapacity && write_q_.size() < kQueueCapacity;
+}
+
+void ChannelController::enqueue(Request req, std::uint64_t now_cycle) {
+  Address a = mapper_.decompose(req.addr);
+  MONDE_REQUIRE(a.channel == channel_, "request routed to wrong channel");
+  Entry e{std::move(req), a, now_cycle};
+  ranks_[static_cast<std::size_t>(a.rank)].queued_demand++;
+  if (e.req.type == Request::Type::kRead) {
+    MONDE_REQUIRE(read_q_.size() < kQueueCapacity, "read queue overflow");
+    read_q_.push_back(std::move(e));
+  } else {
+    MONDE_REQUIRE(write_q_.size() < kQueueCapacity, "write queue overflow");
+    write_q_.push_back(std::move(e));
+  }
+}
+
+bool ChannelController::can_activate(const Address& a, std::uint64_t c) const {
+  const Bank& b = bank_at(a);
+  const RankState& r = ranks_[static_cast<std::size_t>(a.rank)];
+  if (b.open) return false;
+  if (c < b.next_act || c < r.next_act) return false;
+  // tFAW: at most 4 ACTs per rank in any nFAW window.
+  if (r.act_window.size() >= 4 &&
+      c < r.act_window.front() + static_cast<std::uint64_t>(spec_.timing.nFAW)) {
+    return false;
+  }
+  return true;
+}
+
+bool ChannelController::can_precharge(const Address& a, std::uint64_t c) const {
+  const Bank& b = bank_at(a);
+  return b.open && c >= b.next_pre;
+}
+
+bool ChannelController::can_read(const Address& a, std::uint64_t c) const {
+  const Bank& b = bank_at(a);
+  const RankState& r = ranks_[static_cast<std::size_t>(a.rank)];
+  if (!b.open || b.open_row != a.row) return false;
+  if (c < b.next_rd || c < r.next_rd) return false;
+  // Data bus must be free when read data arrives.
+  const std::uint64_t data_start = c + static_cast<std::uint64_t>(spec_.timing.nCL);
+  return data_start >= bus_free_;
+}
+
+bool ChannelController::can_write(const Address& a, std::uint64_t c) const {
+  const Bank& b = bank_at(a);
+  const RankState& r = ranks_[static_cast<std::size_t>(a.rank)];
+  if (!b.open || b.open_row != a.row) return false;
+  if (c < b.next_wr || c < r.next_wr) return false;
+  const std::uint64_t data_start = c + static_cast<std::uint64_t>(spec_.timing.nWL);
+  return data_start >= bus_free_;
+}
+
+void ChannelController::issue_activate(const Address& a, std::uint64_t c) {
+  Bank& b = bank_at(a);
+  RankState& r = ranks_[static_cast<std::size_t>(a.rank)];
+  const Timing& t = spec_.timing;
+  b.open = true;
+  b.open_row = a.row;
+  b.next_rd = std::max(b.next_rd, c + static_cast<std::uint64_t>(t.nRCD));
+  b.next_wr = std::max(b.next_wr, c + static_cast<std::uint64_t>(t.nRCD));
+  b.next_pre = std::max(b.next_pre, c + static_cast<std::uint64_t>(t.nRAS));
+  b.next_act = std::max(b.next_act, c + static_cast<std::uint64_t>(t.nRC));
+  // Rank-level ACT-to-ACT: conservatively apply the same-bank-group value to
+  // the whole rank when bank groups are close; model both distances by using
+  // the short distance at rank level and the long one per bank group below.
+  r.next_act = std::max(r.next_act, c + static_cast<std::uint64_t>(t.nRRDS));
+  // Same-bank-group RRD_L: push next_act of sibling banks.
+  for (int bank = 0; bank < spec_.org.banks_per_group; ++bank) {
+    Address sib = a;
+    sib.bank = bank;
+    Bank& sb = bank_at(sib);
+    sb.next_act = std::max(sb.next_act, c + static_cast<std::uint64_t>(t.nRRDL));
+  }
+  r.act_window.push_back(c);
+  while (r.act_window.size() > 4) r.act_window.pop_front();
+  ++stats_.activates;
+}
+
+void ChannelController::issue_precharge(const Address& a, std::uint64_t c) {
+  Bank& b = bank_at(a);
+  b.open = false;
+  b.open_row = -1;
+  b.next_act = std::max(b.next_act, c + static_cast<std::uint64_t>(spec_.timing.nRP));
+  ++stats_.precharges;
+}
+
+void ChannelController::issue_cas(Entry& e, std::uint64_t c, bool first_service) {
+  const Timing& t = spec_.timing;
+  const bool is_read = e.req.type == Request::Type::kRead;
+  Bank& b = bank_at(e.addr);
+  RankState& r = ranks_[static_cast<std::size_t>(e.addr.rank)];
+
+  const std::uint64_t lat = static_cast<std::uint64_t>(is_read ? t.nCL : t.nWL);
+  const std::uint64_t data_start = c + lat;
+  const std::uint64_t data_end = data_start + static_cast<std::uint64_t>(t.nBL);
+  bus_free_ = data_end;
+  stats_.data_bus_busy_cycles += static_cast<std::uint64_t>(t.nBL);
+
+  // CAS-to-CAS separation: long within the same bank group, short across.
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    // Applying CCD at rank level: use next_rd/next_wr on the rank for the
+    // short distance and per-bank for the long distance.
+    (void)i;
+  }
+  r.next_rd = std::max(r.next_rd, c + static_cast<std::uint64_t>(t.nCCDS));
+  r.next_wr = std::max(r.next_wr, c + static_cast<std::uint64_t>(t.nCCDS));
+  for (int bank = 0; bank < spec_.org.banks_per_group; ++bank) {
+    Address sib = e.addr;
+    sib.bank = bank;
+    Bank& sb = bank_at(sib);
+    sb.next_rd = std::max(sb.next_rd, c + static_cast<std::uint64_t>(t.nCCDL));
+    sb.next_wr = std::max(sb.next_wr, c + static_cast<std::uint64_t>(t.nCCDL));
+  }
+
+  if (is_read) {
+    b.next_pre = std::max(b.next_pre, c + static_cast<std::uint64_t>(t.nRTP));
+    // Read-to-write turnaround handled by the data-bus check plus one bubble.
+    r.next_wr = std::max(r.next_wr, data_end + 1 - std::min<std::uint64_t>(data_end + 1,
+                                                      static_cast<std::uint64_t>(t.nWL)));
+  } else {
+    b.next_pre = std::max(b.next_pre, data_end + static_cast<std::uint64_t>(t.nWR));
+    r.next_rd = std::max(r.next_rd, data_end + static_cast<std::uint64_t>(t.nWTRS));
+    for (int bank = 0; bank < spec_.org.banks_per_group; ++bank) {
+      Address sib = e.addr;
+      sib.bank = bank;
+      Bank& sb = bank_at(sib);
+      sb.next_rd = std::max(sb.next_rd, data_end + static_cast<std::uint64_t>(t.nWTRL));
+    }
+  }
+
+  if (first_service) ++stats_.row_hits;  // row was already open and matching
+
+  MONDE_ASSERT(r.queued_demand > 0, "rank demand accounting underflow");
+  r.queued_demand--;
+  inflight_.push_back(InFlight{std::move(e.req), data_end, e.enqueue_cycle, is_read});
+}
+
+void ChannelController::issue_refresh(int rank, std::uint64_t c) {
+  RankState& r = ranks_[static_cast<std::size_t>(rank)];
+  const Timing& t = spec_.timing;
+  for (int fb = 0; fb < spec_.org.banks_per_rank(); ++fb) {
+    Address a;
+    a.rank = rank;
+    a.bankgroup = fb / spec_.org.banks_per_group;
+    a.bank = fb % spec_.org.banks_per_group;
+    Bank& b = bank_at(a);
+    MONDE_ASSERT(!b.open, "refresh issued with open bank");
+    b.next_act = std::max(b.next_act, c + static_cast<std::uint64_t>(t.nRFC));
+  }
+  r.refresh_due += static_cast<std::uint64_t>(t.nREFI);
+  r.refresh_pending = false;
+  ++stats_.refreshes;
+}
+
+bool ChannelController::try_refresh(std::uint64_t c) {
+  for (std::size_t rk = 0; rk < ranks_.size(); ++rk) {
+    RankState& r = ranks_[rk];
+    if (c >= r.refresh_due) {
+      // Postpone while the rank has queued demand, up to the JEDEC window;
+      // once the debt reaches kMaxPostponedRefreshes intervals, force it.
+      const bool forced =
+          c >= r.refresh_due +
+                   kMaxPostponedRefreshes * static_cast<std::uint64_t>(spec_.timing.nREFI);
+      if (forced || r.queued_demand == 0) r.refresh_pending = true;
+    }
+    if (!r.refresh_pending) continue;
+    // Close any open bank in this rank, oldest-first by simple scan.
+    bool any_open = false;
+    for (int fb = 0; fb < spec_.org.banks_per_rank(); ++fb) {
+      Address a;
+      a.rank = static_cast<int>(rk);
+      a.bankgroup = fb / spec_.org.banks_per_group;
+      a.bank = fb % spec_.org.banks_per_group;
+      Bank& b = bank_at(a);
+      if (b.open) {
+        any_open = true;
+        if (can_precharge(a, c)) {
+          issue_precharge(a, c);
+          return true;  // one command per cycle
+        }
+      }
+    }
+    if (!any_open) {
+      // All banks closed: issue REF once the rank-level ACT timing allows.
+      bool banks_ready = true;
+      for (int fb = 0; fb < spec_.org.banks_per_rank(); ++fb) {
+        Address a;
+        a.rank = static_cast<int>(rk);
+        a.bankgroup = fb / spec_.org.banks_per_group;
+        a.bank = fb % spec_.org.banks_per_group;
+        if (c < bank_at(a).next_pre && bank_at(a).open) banks_ready = false;
+      }
+      if (banks_ready) {
+        issue_refresh(static_cast<int>(rk), c);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ChannelController::schedule_queue(std::deque<Entry>& q, std::uint64_t c) {
+  const std::size_t scan = std::min(q.size(), kSchedulerScanDepth);
+
+  // Pass 1 (FR): find the oldest row-hit request whose CAS can issue now,
+  // and count how much row-hit work is buffered behind it. When plenty of
+  // CAS work remains, spending this command slot on a *prep* command
+  // (ACT/PRE for a younger request's bank) instead hides the tRCD+tRP
+  // latency of upcoming row/rank switches behind the ongoing data burst --
+  // the "open next row early" policy of streaming-oriented controllers.
+  std::size_t hit_idx = q.size();
+  std::size_t hits_buffered = 0;
+  for (std::size_t i = 0; i < scan; ++i) {
+    Entry& e = q[i];
+    const RankState& r = ranks_[static_cast<std::size_t>(e.addr.rank)];
+    if (r.refresh_pending) continue;  // rank is quiescing for refresh
+    const Bank& b = bank_at(e.addr);
+    if (!b.open || b.open_row != e.addr.row) continue;
+    ++hits_buffered;
+    if (hit_idx == q.size()) {
+      const bool ok = e.req.type == Request::Type::kRead ? can_read(e.addr, c)
+                                                         : can_write(e.addr, c);
+      if (ok) hit_idx = i;
+    }
+  }
+
+  // Prep commands are safe to issue eagerly (PRE never closes a row an
+  // older request still wants; ACT only opens needed rows), so prefer them
+  // whenever a few CAS are buffered to absorb the one-cycle command slot.
+  constexpr std::size_t kPrepSlackHits = 4;
+  const bool cas_has_slack = hits_buffered >= kPrepSlackHits;
+
+  // Pass 2 (FCFS / prep): oldest request that needs bank preparation.
+  auto try_prep = [&]() -> bool {
+    for (std::size_t i = 0; i < scan; ++i) {
+      Entry& e = q[i];
+      const RankState& r = ranks_[static_cast<std::size_t>(e.addr.rank)];
+      if (r.refresh_pending) continue;
+      const Bank& b = bank_at(e.addr);
+      if (b.open && b.open_row != e.addr.row) {
+        // Only close a row that no older queued request still wants.
+        bool older_wants_row = false;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (q[j].addr.rank == e.addr.rank && q[j].addr.bankgroup == e.addr.bankgroup &&
+              q[j].addr.bank == e.addr.bank && q[j].addr.row == b.open_row) {
+            older_wants_row = true;
+            break;
+          }
+        }
+        if (!older_wants_row && can_precharge(e.addr, c)) {
+          ++stats_.row_conflicts;
+          issue_precharge(e.addr, c);
+          return true;
+        }
+        continue;
+      }
+      if (!b.open) {
+        if (can_activate(e.addr, c)) {
+          ++stats_.row_misses;
+          issue_activate(e.addr, c);
+          return true;
+        }
+        continue;
+      }
+      // Row open and matching: CAS handled by pass 1.
+    }
+    return false;
+  };
+
+  if (cas_has_slack && try_prep()) return true;
+  if (hit_idx != q.size()) {
+    issue_cas(q[hit_idx], c, /*first_service=*/true);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(hit_idx));
+    return true;
+  }
+  return try_prep();
+}
+
+void ChannelController::retire(std::uint64_t c, Duration tick_period) {
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->complete_cycle <= c) {
+      if (it->is_read) {
+        ++stats_.reads_completed;
+        stats_.read_latency_sum_ns +=
+            static_cast<double>(c - it->enqueue_cycle) * tick_period.ns();
+      } else {
+        ++stats_.writes_completed;
+      }
+      if (it->req.on_complete) {
+        const Duration t = tick_period * static_cast<double>(c);
+        it->req.on_complete(it->req, t);
+      }
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ChannelController::tick(std::uint64_t cycle, Duration tick_period) {
+  stats_.total_cycles = cycle;
+  retire(cycle, tick_period);
+
+  // Refresh has absolute priority once due.
+  if (try_refresh(cycle)) return;
+
+  // Write draining hysteresis.
+  if (write_q_.size() >= kWriteDrainHigh) draining_writes_ = true;
+  if (write_q_.size() <= kWriteDrainLow) draining_writes_ = false;
+
+  if (draining_writes_ || read_q_.empty()) {
+    if (schedule_queue(write_q_, cycle)) return;
+    if (!draining_writes_) return;
+    // While draining, also let reads through if writes are blocked.
+    schedule_queue(read_q_, cycle);
+    return;
+  }
+  if (schedule_queue(read_q_, cycle)) return;
+  // Reads blocked on timing: opportunistically serve writes.
+  schedule_queue(write_q_, cycle);
+}
+
+bool ChannelController::idle() const {
+  return read_q_.empty() && write_q_.empty() && inflight_.empty();
+}
+
+}  // namespace monde::dram

@@ -1,0 +1,119 @@
+// Per-channel DRAM controller: bank state machines, timing enforcement,
+// FR-FCFS scheduling with read priority and write draining, and all-bank
+// refresh per rank.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dram/address.hpp"
+#include "dram/request.hpp"
+#include "dram/spec.hpp"
+
+namespace monde::dram {
+
+/// One channel's controller. Owned and ticked by DramSystem.
+class ChannelController {
+ public:
+  ChannelController(const Spec& spec, const AddressMapper& mapper, int channel_index);
+
+  /// True if the (bounded) request queue can take another entry.
+  [[nodiscard]] bool can_accept() const;
+
+  /// Enqueue a request already mapped to this channel. `now_cycle` is the
+  /// current controller cycle (used for latency accounting).
+  void enqueue(Request req, std::uint64_t now_cycle);
+
+  /// Advance one controller clock cycle: issue at most one command, retire
+  /// completed data transfers, handle refresh.
+  void tick(std::uint64_t cycle, Duration tick_period);
+
+  /// True when no requests are queued or in flight.
+  [[nodiscard]] bool idle() const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const { return read_q_.size() + write_q_.size(); }
+
+  /// Maximum queued requests per direction (reads and writes each).
+  static constexpr std::size_t kQueueCapacity = 64;
+
+ private:
+  struct Bank {
+    bool open = false;
+    int open_row = -1;
+    // Earliest cycles at which each command may be issued to this bank.
+    std::uint64_t next_act = 0;
+    std::uint64_t next_pre = 0;
+    std::uint64_t next_rd = 0;
+    std::uint64_t next_wr = 0;
+  };
+
+  struct RankState {
+    std::uint64_t next_act = 0;  ///< rank-level ACT constraint (RRD/FAW)
+    std::uint64_t next_rd = 0;   ///< rank-level CAS constraints (CCD/WTR)
+    std::uint64_t next_wr = 0;
+    std::deque<std::uint64_t> act_window;  ///< last ACT cycles for tFAW
+    std::uint64_t refresh_due = 0;
+    bool refresh_pending = false;  ///< quiescing: block new work on this rank
+    std::size_t queued_demand = 0; ///< queued requests targeting this rank
+  };
+
+  /// JEDEC allows postponing up to 8 REF commands; we defer refresh while a
+  /// rank has queued demand so streams are not cut mid-burst.
+  static constexpr std::uint64_t kMaxPostponedRefreshes = 8;
+
+  struct Entry {
+    Request req;
+    Address addr;
+    std::uint64_t enqueue_cycle = 0;
+  };
+
+  struct InFlight {
+    Request req;
+    std::uint64_t complete_cycle = 0;
+    std::uint64_t enqueue_cycle = 0;
+    bool is_read = false;
+  };
+
+  Bank& bank_at(const Address& a);
+  [[nodiscard]] const Bank& bank_at(const Address& a) const;
+
+  // Timing predicates (at cycle `c`).
+  [[nodiscard]] bool can_activate(const Address& a, std::uint64_t c) const;
+  [[nodiscard]] bool can_precharge(const Address& a, std::uint64_t c) const;
+  [[nodiscard]] bool can_read(const Address& a, std::uint64_t c) const;
+  [[nodiscard]] bool can_write(const Address& a, std::uint64_t c) const;
+
+  // Command issue (updates timing state + stats).
+  void issue_activate(const Address& a, std::uint64_t c);
+  void issue_precharge(const Address& a, std::uint64_t c);
+  void issue_cas(Entry& e, std::uint64_t c, bool first_service);
+  void issue_refresh(int rank, std::uint64_t c);
+
+  /// Try to make progress on one queued request; returns true if a command
+  /// was issued this cycle.
+  bool schedule_queue(std::deque<Entry>& q, std::uint64_t c);
+  bool try_refresh(std::uint64_t c);
+
+  void retire(std::uint64_t c, Duration tick_period);
+
+  const Spec& spec_;
+  const AddressMapper& mapper_;
+  int channel_;
+
+  std::vector<Bank> banks_;       // [rank][flat_bank] flattened
+  std::vector<RankState> ranks_;
+  std::deque<Entry> read_q_;
+  std::deque<Entry> write_q_;
+  std::vector<InFlight> inflight_;
+  std::uint64_t bus_free_ = 0;  ///< first cycle the data bus is free
+  bool draining_writes_ = false;
+  Stats stats_;
+
+  static constexpr std::size_t kWriteDrainHigh = 48;
+  static constexpr std::size_t kWriteDrainLow = 16;
+  static constexpr std::size_t kSchedulerScanDepth = 32;
+};
+
+}  // namespace monde::dram

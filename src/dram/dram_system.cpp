@@ -1,0 +1,73 @@
+#include "dram/dram_system.hpp"
+
+#include "common/error.hpp"
+
+namespace monde::dram {
+
+DramSystem::DramSystem(Spec spec) : spec_{std::move(spec)}, mapper_{spec_} {
+  spec_.validate();
+  channels_.reserve(static_cast<std::size_t>(spec_.org.channels));
+  for (int c = 0; c < spec_.org.channels; ++c) {
+    channels_.push_back(std::make_unique<ChannelController>(spec_, mapper_, c));
+  }
+}
+
+int DramSystem::channel_of(std::uint64_t addr) const { return mapper_.decompose(addr).channel; }
+
+bool DramSystem::can_accept(std::uint64_t addr) const {
+  return channels_[static_cast<std::size_t>(channel_of(addr))]->can_accept();
+}
+
+void DramSystem::enqueue(Request req) {
+  const int ch = channel_of(req.addr);
+  MONDE_REQUIRE(channels_[static_cast<std::size_t>(ch)]->can_accept(),
+                "channel " << ch << " queue full; check can_accept() first");
+  channels_[static_cast<std::size_t>(ch)]->enqueue(std::move(req), cycle_);
+}
+
+void DramSystem::tick() {
+  ++cycle_;
+  const Duration period = spec_.clock_period();
+  for (auto& ch : channels_) ch->tick(cycle_, period);
+}
+
+void DramSystem::run_until_idle() {
+  // Guard against runaway loops from scheduling bugs: no workload in this
+  // repository legitimately needs more than ~10 minutes of simulated time.
+  const std::uint64_t limit = cycle_ + 400'000'000ULL;
+  while (!idle()) {
+    tick();
+    MONDE_ASSERT(cycle_ < limit, "DRAM system failed to drain (scheduler livelock?)");
+  }
+}
+
+Duration DramSystem::now() const {
+  return spec_.clock_period() * static_cast<double>(cycle_);
+}
+
+bool DramSystem::idle() const {
+  for (const auto& ch : channels_) {
+    if (!ch->idle()) return false;
+  }
+  return true;
+}
+
+Stats DramSystem::stats() const {
+  Stats agg;
+  for (const auto& ch : channels_) agg += ch->stats();
+  // Utilization denominators aggregate across channels: one device cycle
+  // offers `channels` data-bus cycles.
+  agg.total_cycles = cycle_ * static_cast<std::uint64_t>(spec_.org.channels);
+  return agg;
+}
+
+Bandwidth DramSystem::achieved_bandwidth() const {
+  const Stats s = stats();
+  const double secs = now().sec();
+  if (secs <= 0.0) return Bandwidth::gbps(0.0);
+  const double bytes =
+      static_cast<double>(s.accesses()) * static_cast<double>(spec_.org.access_bytes);
+  return Bandwidth::bytes_per_sec(bytes / secs);
+}
+
+}  // namespace monde::dram

@@ -1,0 +1,64 @@
+// Top-level multi-channel DRAM system: the cycle-level model of the MoNDE
+// device memory. The NDP core simulator drives this system directly --
+// enqueueing column-granularity requests and ticking the controller clock --
+// to obtain cycle-accurate expert-GEMM latencies (the role Ramulator plays
+// in the paper's evaluation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dram/address.hpp"
+#include "dram/controller.hpp"
+#include "dram/request.hpp"
+#include "dram/spec.hpp"
+
+namespace monde::dram {
+
+/// A complete DRAM device: N independent channel controllers sharing a clock.
+class DramSystem {
+ public:
+  explicit DramSystem(Spec spec);
+
+  DramSystem(const DramSystem&) = delete;
+  DramSystem& operator=(const DramSystem&) = delete;
+
+  /// Channel a byte address maps to (for admission control).
+  [[nodiscard]] int channel_of(std::uint64_t addr) const;
+
+  /// True if the owning channel can take another request.
+  [[nodiscard]] bool can_accept(std::uint64_t addr) const;
+
+  /// Enqueue a request. Requires can_accept(addr).
+  void enqueue(Request req);
+
+  /// Advance one controller cycle on every channel.
+  void tick();
+
+  /// Tick until all queues and in-flight transfers drain.
+  void run_until_idle();
+
+  /// Current simulated time (cycles * clock period).
+  [[nodiscard]] Duration now() const;
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  [[nodiscard]] bool idle() const;
+
+  /// Aggregated statistics across channels.
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+  [[nodiscard]] const AddressMapper& mapper() const { return mapper_; }
+
+  /// Achieved read+write bandwidth since construction.
+  [[nodiscard]] Bandwidth achieved_bandwidth() const;
+
+ private:
+  Spec spec_;
+  AddressMapper mapper_;
+  std::vector<std::unique_ptr<ChannelController>> channels_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace monde::dram

@@ -1,0 +1,103 @@
+// DRAM device organization and timing specification.
+//
+// The MoNDE device (paper Section 3.1) is a CXL memory expander built from
+// LPDDR modules: x16 chips at 8533 MT/s, 32 chips per 64-GB module with
+// 68 GB/s of bandwidth, and 8 such modules/channels for 512 GB @ ~512 GB/s.
+//
+// We model each channel as a 64-bit LPDDR5X-8533 bus (4 x16 chips per rank,
+// 8 ranks), with a controller clocked at CK = data_rate/16 (LPDDR5 16n
+// prefetch: one BL16 column burst occupies exactly one CK cycle on the bus).
+// All timing parameters below are in controller clock cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace monde::dram {
+
+/// Physical topology of one DRAM channel and the channel count.
+struct Organization {
+  int channels = 8;
+  int ranks = 8;
+  int bankgroups = 4;
+  int banks_per_group = 4;
+  int rows = 65536;
+  /// Column *accesses* per row: each access moves `access_bytes` over the bus.
+  int columns = 64;
+  /// Bytes moved by one column access (BL16 x 64-bit bus = 128 B).
+  int access_bytes = 128;
+
+  [[nodiscard]] int banks_per_rank() const { return bankgroups * banks_per_group; }
+  [[nodiscard]] int banks_per_channel() const { return ranks * banks_per_rank(); }
+  [[nodiscard]] Bytes row_bytes() const {
+    return Bytes{static_cast<std::uint64_t>(columns) * static_cast<std::uint64_t>(access_bytes)};
+  }
+  [[nodiscard]] Bytes channel_capacity() const {
+    return Bytes{static_cast<std::uint64_t>(ranks) * static_cast<std::uint64_t>(banks_per_rank()) *
+                 static_cast<std::uint64_t>(rows) * row_bytes().count()};
+  }
+  [[nodiscard]] Bytes total_capacity() const {
+    return Bytes{channel_capacity().count() * static_cast<std::uint64_t>(channels)};
+  }
+};
+
+/// Timing constraints in controller clock (CK) cycles.
+struct Timing {
+  int nBL = 1;      ///< data-bus cycles per column burst (BL16 on 16n prefetch)
+  int nCL = 15;     ///< read latency (RL)
+  int nWL = 12;     ///< write latency
+  int nRCD = 10;    ///< ACT -> RD/WR
+  int nRP = 10;     ///< PRE -> ACT
+  int nRAS = 23;    ///< ACT -> PRE
+  int nRC = 33;     ///< ACT -> ACT, same bank
+  int nCCDS = 1;    ///< CAS -> CAS, different bank group
+  /// CAS -> CAS same bank group. LPDDR5's 16n prefetch makes tCCD_L (2 WCK)
+  /// shorter than one BL16 burst (1 CK), so seamless bursts are legal.
+  int nCCDL = 1;
+  int nRRDS = 4;    ///< ACT -> ACT, different bank group
+  int nRRDL = 5;    ///< ACT -> ACT, same bank group
+  int nFAW = 16;    ///< four-activate window per rank
+  int nRTP = 4;     ///< RD -> PRE
+  int nWR = 10;     ///< end of write data -> PRE (write recovery)
+  int nWTRS = 5;    ///< end of write data -> RD, different bank group
+  int nWTRL = 7;    ///< end of write data -> RD, same bank group
+  int nREFI = 2080; ///< average refresh interval
+  int nRFC = 150;   ///< refresh cycle time (all-bank)
+};
+
+/// A complete device specification.
+struct Spec {
+  std::string name;
+  Organization org;
+  Timing timing;
+  double data_rate_mtps = 8533.0;  ///< transfers per second per data pin (x1e6)
+
+  /// Controller clock period: one CK per BL16 burst (16n prefetch).
+  [[nodiscard]] Duration clock_period() const {
+    return Duration::nanos(16.0 * 1e3 / data_rate_mtps);
+  }
+  /// Peak bandwidth of one channel (64-bit bus at the full data rate).
+  [[nodiscard]] Bandwidth channel_peak_bandwidth() const {
+    return Bandwidth::bytes_per_sec(static_cast<double>(org.access_bytes) /
+                                    clock_period().sec());
+  }
+  /// Peak bandwidth of the whole device.
+  [[nodiscard]] Bandwidth total_peak_bandwidth() const {
+    return channel_peak_bandwidth() * static_cast<double>(org.channels);
+  }
+
+  /// The MoNDE device from the paper: 8 channels, 512 GB, ~512 GB/s, LPDDR5X-8533.
+  [[nodiscard]] static Spec monde_lpddr5x_8533();
+
+  /// Same topology with the data rate scaled by `factor` (Figure 7(b)'s
+  /// 0.5x / 2.0x bandwidth sensitivity knob). Timing in nanoseconds is kept
+  /// constant, i.e. cycle counts are rescaled to the new clock.
+  [[nodiscard]] Spec with_bandwidth_scale(double factor) const;
+
+  /// Throws monde::Error if any field is out of its valid domain.
+  void validate() const;
+};
+
+}  // namespace monde::dram

@@ -1,0 +1,145 @@
+#include "interconnect/instruction.hpp"
+
+#include "common/error.hpp"
+
+namespace monde::interconnect {
+namespace {
+
+/// Little-endian bit writer over a fixed 64-byte buffer.
+class BitWriter {
+ public:
+  explicit BitWriter(InstructionBytes& buf) : buf_{buf} { buf_.fill(0); }
+
+  void put(std::uint64_t value, int bits) {
+    MONDE_REQUIRE(bits > 0 && bits <= 64, "bit width out of range");
+    MONDE_REQUIRE(bits == 64 || value < (1ULL << bits),
+                  "value " << value << " does not fit in " << bits << " bits");
+    for (int i = 0; i < bits; ++i) {
+      if ((value >> i) & 1ULL) {
+        buf_[static_cast<std::size_t>(pos_ + i) / 8] |=
+            static_cast<std::uint8_t>(1U << ((pos_ + i) % 8));
+      }
+    }
+    pos_ += bits;
+    MONDE_ASSERT(pos_ <= 512, "instruction encoding overflow");
+  }
+
+  [[nodiscard]] int position() const { return pos_; }
+
+ private:
+  InstructionBytes& buf_;
+  int pos_ = 0;
+};
+
+/// Little-endian bit reader mirroring BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(const InstructionBytes& buf) : buf_{buf} {}
+
+  std::uint64_t get(int bits) {
+    MONDE_REQUIRE(bits > 0 && bits <= 64, "bit width out of range");
+    std::uint64_t value = 0;
+    for (int i = 0; i < bits; ++i) {
+      const std::size_t bit = static_cast<std::size_t>(pos_ + i);
+      if ((buf_[bit / 8] >> (bit % 8)) & 1U) value |= 1ULL << i;
+    }
+    pos_ += bits;
+    MONDE_ASSERT(pos_ <= 512, "instruction decoding overflow");
+    return value;
+  }
+
+  void skip(int bits) { pos_ += bits; }
+
+ private:
+  const InstructionBytes& buf_;
+  int pos_ = 0;
+};
+
+// Field widths (bits). Sum: 4 + 6*64 + 124 = 512.
+constexpr int kOpcodeBits = 4;
+constexpr int kAddrBits = 64;
+constexpr int kSizeBits = 64;
+constexpr int kIsNdpBits = 1;
+constexpr int kActFnBits = 2;
+constexpr int kExpertBits = 16;
+constexpr int kLayerBits = 16;
+constexpr int kDeviceBits = 8;
+constexpr int kTokenBits = 20;
+constexpr int kSeqBits = 16;
+constexpr int kReservedBits = 124 - (kIsNdpBits + kActFnBits + kExpertBits + kLayerBits +
+                                     kDeviceBits + kTokenBits + kSeqBits);
+static_assert(kReservedBits == 45, "auxiliary field layout must total 124 bits");
+
+// The isNDP flag's absolute bit offset, needed by is_ndp_flit().
+constexpr int kIsNdpBitOffset = kOpcodeBits + 6 * kAddrBits;  // = 388
+
+bool opcode_valid(std::uint64_t raw) {
+  switch (static_cast<Opcode>(raw)) {
+    case Opcode::kNop:
+    case Opcode::kGemm:
+    case Opcode::kGemmRelu:
+    case Opcode::kGemmGelu:
+    case Opcode::kBarrier:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+InstructionBytes encode(const NdpInstruction& inst) {
+  MONDE_REQUIRE(opcode_valid(static_cast<std::uint64_t>(inst.opcode)),
+                "cannot encode reserved opcode "
+                    << static_cast<int>(inst.opcode));
+  MONDE_REQUIRE(inst.token_count < (1U << kTokenBits),
+                "token_count " << inst.token_count << " exceeds 20-bit field");
+  InstructionBytes bytes;
+  BitWriter w{bytes};
+  w.put(static_cast<std::uint64_t>(inst.opcode), kOpcodeBits);
+  w.put(inst.act_in.addr, kAddrBits);
+  w.put(inst.act_in.size, kSizeBits);
+  w.put(inst.weight.addr, kAddrBits);
+  w.put(inst.weight.size, kSizeBits);
+  w.put(inst.act_out.addr, kAddrBits);
+  w.put(inst.act_out.size, kSizeBits);
+  w.put(inst.is_ndp ? 1 : 0, kIsNdpBits);
+  w.put(static_cast<std::uint64_t>(inst.act_fn), kActFnBits);
+  w.put(inst.expert_id, kExpertBits);
+  w.put(inst.layer_id, kLayerBits);
+  w.put(inst.device_id, kDeviceBits);
+  w.put(inst.token_count, kTokenBits);
+  w.put(inst.kernel_seq, kSeqBits);
+  w.put(0, kReservedBits);
+  MONDE_ASSERT(w.position() == 512, "instruction must occupy exactly 512 bits");
+  return bytes;
+}
+
+NdpInstruction decode(const InstructionBytes& bytes) {
+  BitReader r{bytes};
+  NdpInstruction inst;
+  const std::uint64_t op = r.get(kOpcodeBits);
+  MONDE_REQUIRE(opcode_valid(op), "reserved opcode " << op << " in instruction stream");
+  inst.opcode = static_cast<Opcode>(op);
+  inst.act_in.addr = r.get(kAddrBits);
+  inst.act_in.size = r.get(kSizeBits);
+  inst.weight.addr = r.get(kAddrBits);
+  inst.weight.size = r.get(kSizeBits);
+  inst.act_out.addr = r.get(kAddrBits);
+  inst.act_out.size = r.get(kSizeBits);
+  inst.is_ndp = r.get(kIsNdpBits) != 0;
+  inst.act_fn = static_cast<ActFn>(r.get(kActFnBits));
+  inst.expert_id = static_cast<std::uint16_t>(r.get(kExpertBits));
+  inst.layer_id = static_cast<std::uint16_t>(r.get(kLayerBits));
+  inst.device_id = static_cast<std::uint8_t>(r.get(kDeviceBits));
+  inst.token_count = static_cast<std::uint32_t>(r.get(kTokenBits));
+  inst.kernel_seq = static_cast<std::uint16_t>(r.get(kSeqBits));
+  return inst;
+}
+
+bool is_ndp_flit(const InstructionBytes& bytes) {
+  const std::size_t bit = kIsNdpBitOffset;
+  return ((bytes[bit / 8] >> (bit % 8)) & 1U) != 0;
+}
+
+}  // namespace monde::interconnect

@@ -1,0 +1,73 @@
+// The 64-byte MoNDE NDP CXL instruction (paper Figure 4(a)).
+//
+// Layout (little-endian bit stream, 512 bits total):
+//   [  4b] opcode
+//   [ 64b] input-activation address   [ 64b] input-activation size
+//   [ 64b] expert-weight address      [ 64b] expert-weight size
+//   [ 64b] output-activation address  [ 64b] output-activation size
+//   [124b] auxiliary flags: isNDP(1) act_fn(2) expert_id(16) layer_id(16)
+//          device_id(8) token_count(20) kernel_seq(16) reserved(45)
+//
+// Host kernels (`gemm`, `gemm+relu`) compile 1:1 into these instructions;
+// the device-side decoder re-extracts every field. Encoding and decoding
+// round-trip exactly, which the unit tests verify field-by-field.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace monde::interconnect {
+
+/// NDP opcodes. 4 bits: values 0..15; unlisted values are reserved.
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kGemm = 1,       ///< C = A x B
+  kGemmRelu = 2,   ///< C = relu(A x B)
+  kGemmGelu = 3,   ///< C = gelu(A x B)
+  kBarrier = 4,    ///< wait for all prior kernels, then raise done
+  kReserved5 = 5,
+};
+
+/// Trailing activation function selector inside the auxiliary field.
+enum class ActFn : std::uint8_t { kNone = 0, kRelu = 1, kGelu = 2 };
+
+/// One (address, size) operand descriptor.
+struct OperandDesc {
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+  bool operator==(const OperandDesc&) const = default;
+};
+
+/// Decoded form of the 64-B instruction.
+struct NdpInstruction {
+  Opcode opcode = Opcode::kNop;
+  OperandDesc act_in;
+  OperandDesc weight;
+  OperandDesc act_out;
+  // Auxiliary fields.
+  bool is_ndp = true;
+  ActFn act_fn = ActFn::kNone;
+  std::uint16_t expert_id = 0;
+  std::uint16_t layer_id = 0;
+  std::uint8_t device_id = 0;
+  std::uint32_t token_count = 0;  ///< 20 bits used
+  std::uint16_t kernel_seq = 0;
+
+  bool operator==(const NdpInstruction&) const = default;
+};
+
+/// The wire format: exactly one 64-byte CXL RwD payload.
+using InstructionBytes = std::array<std::uint8_t, 64>;
+
+/// Serialize to the 64-B wire format. Throws monde::Error if any field
+/// exceeds its bit width (e.g. token_count >= 2^20).
+[[nodiscard]] InstructionBytes encode(const NdpInstruction& inst);
+
+/// Parse a 64-B wire instruction. Throws monde::Error on reserved opcodes.
+[[nodiscard]] NdpInstruction decode(const InstructionBytes& bytes);
+
+/// True if the flit carries an NDP instruction (the isNDP auxiliary flag the
+/// CXL controller checks before forwarding to the NDP instruction buffer).
+[[nodiscard]] bool is_ndp_flit(const InstructionBytes& bytes);
+
+}  // namespace monde::interconnect

@@ -1,0 +1,59 @@
+#include "moe/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace monde::moe {
+
+void save_trace(std::ostream& os, const std::vector<MoeLayerWork>& layers) {
+  for (const auto& w : layers) {
+    os << w.layer_id << ',' << w.total_tokens << ',' << w.top_k;
+    for (const auto c : w.tokens_per_expert) os << ',' << c;
+    os << '\n';
+  }
+}
+
+void save_trace_file(const std::string& path, const std::vector<MoeLayerWork>& layers) {
+  std::ofstream os{path};
+  MONDE_REQUIRE(os.good(), "cannot open trace file '" << path << "' for writing");
+  save_trace(os, layers);
+  MONDE_REQUIRE(os.good(), "failed writing trace file '" << path << "'");
+}
+
+std::vector<MoeLayerWork> load_trace(std::istream& is) {
+  std::vector<MoeLayerWork> layers;
+  std::string line;
+  std::size_t expert_count = 0;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row{line};
+    MoeLayerWork w;
+    char sep = ',';
+    row >> w.layer_id >> sep >> w.total_tokens >> sep >> w.top_k;
+    MONDE_REQUIRE(row.good(), "trace line " << line_no << ": malformed header fields");
+    MONDE_REQUIRE(w.total_tokens >= 0 && w.top_k >= 1,
+                  "trace line " << line_no << ": invalid token/top_k values");
+    std::uint64_t count = 0;
+    while (row >> sep >> count) w.tokens_per_expert.push_back(count);
+    MONDE_REQUIRE(!w.tokens_per_expert.empty(),
+                  "trace line " << line_no << ": no expert counts");
+    if (expert_count == 0) expert_count = w.tokens_per_expert.size();
+    MONDE_REQUIRE(w.tokens_per_expert.size() == expert_count,
+                  "trace line " << line_no << ": expert count "
+                                << w.tokens_per_expert.size() << " != " << expert_count);
+    layers.push_back(std::move(w));
+  }
+  return layers;
+}
+
+std::vector<MoeLayerWork> load_trace_file(const std::string& path) {
+  std::ifstream is{path};
+  MONDE_REQUIRE(is.good(), "cannot open trace file '" << path << "'");
+  return load_trace(is);
+}
+
+}  // namespace monde::moe

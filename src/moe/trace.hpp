@@ -1,0 +1,31 @@
+// Routed-workload trace persistence.
+//
+// The synthetic GatingModel reproduces the paper's published skew, but users
+// with access to a real model can capture tokens-per-expert traces from the
+// actual router and replay them here. The format is plain CSV, one MoE
+// layer per row:
+//
+//   layer_id,total_tokens,top_k,count_e0,count_e1,...,count_e{E-1}
+//
+// All rows of a trace must agree on the expert count. Loading validates
+// structure (not routing conservation -- real traces may drop tokens).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "moe/gating.hpp"
+
+namespace monde::moe {
+
+/// Serialize layers as CSV (see format above).
+void save_trace(std::ostream& os, const std::vector<MoeLayerWork>& layers);
+void save_trace_file(const std::string& path, const std::vector<MoeLayerWork>& layers);
+
+/// Parse a CSV trace. Throws monde::Error on malformed rows or inconsistent
+/// expert counts.
+[[nodiscard]] std::vector<MoeLayerWork> load_trace(std::istream& is);
+[[nodiscard]] std::vector<MoeLayerWork> load_trace_file(const std::string& path);
+
+}  // namespace monde::moe

@@ -1,0 +1,68 @@
+#include "moe/workload.hpp"
+
+#include "common/error.hpp"
+
+namespace monde::moe {
+
+WorkloadGenerator::WorkloadGenerator(const MoeModelConfig& model, const SkewProfile& profile,
+                                     std::uint64_t seed)
+    : model_{model}, rng_{seed} {
+  model_.validate();
+  MONDE_REQUIRE(model_.moe_every > 0, "workload generation needs an MoE model");
+  for (int i = 0; i < model_.encoder_moe_layers(); ++i) {
+    encoder_gatings_.emplace_back(model_.num_experts, model_.top_k, profile,
+                                  seed * std::uint64_t{1000003} + static_cast<std::uint64_t>(i));
+  }
+  for (int i = 0; i < model_.decoder_moe_layers(); ++i) {
+    decoder_gatings_.emplace_back(model_.num_experts, model_.top_k, profile,
+                                  seed * std::uint64_t{2000003} + static_cast<std::uint64_t>(i));
+  }
+}
+
+EncoderPass WorkloadGenerator::encoder_pass(std::int64_t batch, std::int64_t seq_len) {
+  MONDE_REQUIRE(batch > 0 && seq_len > 0, "encoder pass needs tokens");
+  EncoderPass pass;
+  pass.batch = batch;
+  pass.seq_len = seq_len;
+  const std::int64_t tokens = batch * seq_len;
+  for (std::size_t i = 0; i < encoder_gatings_.size(); ++i) {
+    MoeLayerWork work;
+    work.layer_id = static_cast<int>(i);
+    work.total_tokens = tokens;
+    work.top_k = model_.top_k;
+    work.tokens_per_expert = encoder_gatings_[i].route(tokens, rng_);
+    pass.moe_layers.push_back(std::move(work));
+  }
+  return pass;
+}
+
+std::vector<DecoderStep> WorkloadGenerator::decoder_steps(std::int64_t batch,
+                                                          std::int64_t steps) {
+  MONDE_REQUIRE(batch > 0 && steps > 0, "decoder run needs tokens");
+  std::vector<DecoderStep> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (std::int64_t s = 0; s < steps; ++s) {
+    DecoderStep step;
+    step.step_index = s;
+    step.batch = batch;
+    for (std::size_t i = 0; i < decoder_gatings_.size(); ++i) {
+      MoeLayerWork work;
+      // Layer ids are unique across the encoder and decoder stacks so that
+      // per-expert state (e.g. the GPU expert cache) never aliases.
+      work.layer_id = model_.encoder_moe_layers() + static_cast<int>(i);
+      work.total_tokens = batch;
+      work.top_k = model_.top_k;
+      work.tokens_per_expert = decoder_gatings_[i].route(batch, rng_);
+      step.moe_layers.push_back(std::move(work));
+    }
+    out.push_back(std::move(step));
+  }
+  return out;
+}
+
+const GatingModel& WorkloadGenerator::encoder_gating(std::size_t i) const {
+  MONDE_REQUIRE(i < encoder_gatings_.size(), "encoder gating index out of range");
+  return encoder_gatings_[i];
+}
+
+}  // namespace monde::moe

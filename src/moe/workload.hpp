@@ -1,0 +1,59 @@
+// Deterministic workload generation for encoder passes and autoregressive
+// decoder runs.
+//
+// Substitutes the paper's XSum (language modeling) and FLORES-200 (machine
+// translation) datasets: what the system consumes from a dataset is only the
+// sequence of tokens-per-expert vectors per MoE layer, which the calibrated
+// GatingModel produces (see gating.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moe/gating.hpp"
+#include "moe/model_config.hpp"
+
+namespace monde::moe {
+
+/// A full encoder pass: one MoeLayerWork per encoder MoE layer.
+struct EncoderPass {
+  std::int64_t batch = 0;
+  std::int64_t seq_len = 0;
+  std::vector<MoeLayerWork> moe_layers;
+};
+
+/// One autoregressive decoder step: one MoeLayerWork per decoder MoE layer.
+struct DecoderStep {
+  std::int64_t step_index = 0;
+  std::int64_t batch = 0;  ///< new tokens this step
+  std::vector<MoeLayerWork> moe_layers;
+};
+
+/// Generates routed workloads for a model configuration. One GatingModel is
+/// instantiated per MoE layer (different hot experts per layer); drawing is
+/// deterministic given the seed.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const MoeModelConfig& model, const SkewProfile& profile,
+                    std::uint64_t seed = 42);
+
+  /// Route a full encoder batch (batch x seq_len tokens through every
+  /// encoder MoE layer).
+  [[nodiscard]] EncoderPass encoder_pass(std::int64_t batch, std::int64_t seq_len);
+
+  /// Route `steps` autoregressive decoder steps of `batch` tokens each.
+  [[nodiscard]] std::vector<DecoderStep> decoder_steps(std::int64_t batch, std::int64_t steps);
+
+  [[nodiscard]] const MoeModelConfig& model() const { return model_; }
+
+  /// The gating model of encoder MoE layer `i` (for characterization).
+  [[nodiscard]] const GatingModel& encoder_gating(std::size_t i) const;
+
+ private:
+  MoeModelConfig model_;
+  std::vector<GatingModel> encoder_gatings_;
+  std::vector<GatingModel> decoder_gatings_;
+  Rng rng_;
+};
+
+}  // namespace monde::moe

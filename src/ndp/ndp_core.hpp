@@ -1,0 +1,120 @@
+// Cycle-level MoNDE NDP core simulator.
+//
+// This is the component the paper realizes with "a cycle-level expert
+// computation simulator [using] Ramulator to model our MoNDE memory"
+// (Section 4.1). The simulated machine (Section 3.1):
+//
+//   * 64 SIMD-controlled 4x4 MAC systolic arrays @ 1 GHz, output-stationary;
+//   * one pass computes a 4x256 C tile, streaming K through the arrays in
+//     double-buffered chunks via the skew unit;
+//   * weights stream from even-indexed banks, activations/outputs use
+//     odd-indexed banks (Section 3.4 memory mapping);
+//   * the tailing activation (gemm+relu / gemm+gelu) is fused in the VecUnit
+//     and adds no extra passes.
+//
+// The execution pipeline is simulated against the cycle-level DRAM system:
+// chunk loads are injected with a two-deep double-buffering window, compute
+// of a chunk starts when its loads complete and the arrays are free, and
+// output tiles are written back when their pass finishes. Kernel latency is
+// "instruction decode -> done register raised" (all outputs committed).
+//
+// Hot experts with many routed tokens are compute-bound (arithmetic
+// intensity grows with the token count); above `cycle_sim_token_limit`
+// tokens the simulator switches to a closed-form compute-bound model, which
+// the cycle simulator itself validates at the crossover (see tests).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "compute/gemm.hpp"
+#include "dram/dram_system.hpp"
+#include "ndp/layout.hpp"
+#include "ndp/ndp_spec.hpp"
+
+namespace monde::ndp {
+
+/// Result of one simulated NDP kernel (or expert = two chained kernels).
+struct NdpKernelResult {
+  Duration latency = Duration::zero();  ///< decode -> done register
+  std::uint64_t compute_cycles = 0;     ///< MAC-array busy cycles
+  std::uint64_t read_blocks = 0;        ///< DRAM column reads issued
+  std::uint64_t write_blocks = 0;       ///< DRAM column writes issued
+  double row_hit_rate = 0.0;
+  Bandwidth achieved_bandwidth;         ///< read+write over kernel latency
+  bool cycle_accurate = true;  ///< false when the compute-bound fast path ran
+};
+
+/// The NDP core + device-memory simulator. One instance per MoNDE device
+/// configuration; results are memoized by GEMM shape (deterministic).
+class NdpCoreSim {
+ public:
+  NdpCoreSim(NdpSpec ndp, dram::Spec mem);
+
+  /// Simulate a single gemm / gemm+relu kernel.
+  NdpKernelResult simulate_gemm(const compute::GemmShape& shape, compute::DataType dt);
+
+  /// Simulate one expert FFN: linear1 (gemm+relu) then linear2 (gemm), with
+  /// linear2's weight streaming starting only after linear1 completes (its
+  /// input is linear1's output).
+  NdpKernelResult simulate_expert(const compute::ExpertShape& expert, compute::DataType dt);
+
+  /// Closed-form lower bound: max(compute cycles, weight streaming at peak
+  /// bandwidth). Used by the load-balancing planner (Equation 4's t_MD
+  /// approximation) and as a test oracle.
+  [[nodiscard]] Duration analytic_expert_lower_bound(const compute::ExpertShape& expert,
+                                                     compute::DataType dt) const;
+
+  /// Total MAC-array cycles for a GEMM (exact tile arithmetic, no memory).
+  [[nodiscard]] std::uint64_t compute_cycles_for(const compute::GemmShape& shape) const;
+
+  [[nodiscard]] const NdpSpec& ndp_spec() const { return ndp_; }
+  [[nodiscard]] const dram::Spec& mem_spec() const { return mem_; }
+
+  /// Above this token count per expert, use the compute-bound fast path.
+  /// The compute/memory crossover for the DAC'24 configuration sits near
+  /// 4 tokens; by 16 tokens experts are >4x compute-bound, so the fast
+  /// path's error is small (validated against the cycle sim in tests).
+  int cycle_sim_token_limit = 16;
+
+  /// Section 3.4 design choice: map parameters to even banks and
+  /// activations to odd banks. Setting this false places activations in the
+  /// same (even) banks as the weights -- the ablation knob for
+  /// bench/ablation_bank_partition.
+  bool bank_partitioning = true;
+
+  [[nodiscard]] std::uint64_t memo_hits() const { return memo_hits_; }
+  [[nodiscard]] std::uint64_t memo_misses() const { return memo_misses_; }
+
+ private:
+  /// A double-buffered unit of pipeline work.
+  struct Chunk {
+    std::uint64_t load_blocks = 0;     ///< weight-partition reads
+    std::uint64_t load_act_blocks = 0; ///< activation-partition reads (A tiles)
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t store_blocks = 0;    ///< activation-partition writes (C tiles)
+  };
+
+  [[nodiscard]] std::vector<Chunk> build_chunks(const compute::GemmShape& shape,
+                                                compute::DataType dt) const;
+
+  /// Run chunk sequences through a fresh DRAM system. Each inner vector is a
+  /// dependent kernel (kernel i+1 starts after kernel i completes).
+  NdpKernelResult run_pipeline(const std::vector<std::vector<Chunk>>& kernels) const;
+
+  NdpKernelResult compute_bound_estimate(const compute::ExpertShape& expert,
+                                         compute::DataType dt) const;
+
+  using Key = std::tuple<std::int64_t, std::int64_t, std::int64_t, int>;
+
+  NdpSpec ndp_;
+  dram::Spec mem_;
+  std::map<Key, NdpKernelResult> gemm_memo_;
+  std::map<Key, NdpKernelResult> expert_memo_;
+  std::uint64_t memo_hits_ = 0;
+  std::uint64_t memo_misses_ = 0;
+};
+
+}  // namespace monde::ndp

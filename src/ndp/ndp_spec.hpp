@@ -1,0 +1,56 @@
+// MoNDE NDP core configuration (paper Section 3.1 and Table 2).
+//
+// The NDP core is 64 SIMD-controlled 4x4 MAC systolic arrays clocked at
+// 1 GHz, fed by 264 KB of scratchpad/operand buffers. One "pass" computes a
+// 4x256 output-stationary C tile (4 rows x 64 units * 4 columns), streaming
+// the K dimension through the arrays in double-buffered chunks.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace monde::ndp {
+
+/// Static NDP-core parameters.
+struct NdpSpec {
+  int num_units = 64;   ///< SIMD-controlled systolic arrays
+  int pe_rows = 4;      ///< MAC rows per array (output tile height)
+  int pe_cols = 4;      ///< MAC columns per array
+  double clock_ghz = 1.0;
+
+  Bytes scratchpad = Bytes::kib(136.0);       ///< weight stream buffers
+  Bytes operand_buffers = Bytes::kib(128.0);  ///< activation / output buffers
+
+  /// Systolic skew-unit fill/drain cycles added to the first chunk of a pass.
+  int pipeline_fill = 16;
+  /// K-rows of the weight matrix streamed per double-buffered chunk.
+  int stream_chunk_rows = 128;
+  /// Host-visible overhead per kernel: instruction decode + NDP dispatch.
+  Duration kernel_decode = Duration::nanos(100.0);
+
+  /// Output tile width of one pass: num_units * pe_cols columns.
+  [[nodiscard]] int tile_cols() const { return num_units * pe_cols; }
+  /// Output tile height of one pass.
+  [[nodiscard]] int tile_rows() const { return pe_rows; }
+  /// MACs retired per cycle across all arrays.
+  [[nodiscard]] double macs_per_cycle() const {
+    return static_cast<double>(num_units) * pe_rows * pe_cols;
+  }
+  /// Peak compute throughput (1 MAC = 2 FLOPs).
+  [[nodiscard]] Flops peak_flops() const {
+    return Flops::gflops(2.0 * macs_per_cycle() * clock_ghz);
+  }
+  [[nodiscard]] Duration cycle_time() const { return Duration::nanos(1.0 / clock_ghz); }
+
+  /// The DAC'24 configuration: 64 units of 4x4 arrays @ 1 GHz, 264 KB buffers.
+  [[nodiscard]] static NdpSpec monde_dac24() { return NdpSpec{}; }
+
+  /// Compute scaled to match a memory-bandwidth scaling factor (the paper's
+  /// Figure 7(b) uses "rate-matching NDP compute" for 0.5x/2.0x memory).
+  [[nodiscard]] NdpSpec rate_matched(double factor) const {
+    NdpSpec s = *this;
+    s.clock_ghz = clock_ghz * factor;
+    return s;
+  }
+};
+
+}  // namespace monde::ndp

@@ -1,0 +1,31 @@
+#include "sim/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace monde::sim {
+
+void Engine::schedule(Duration delay, Callback fn) {
+  MONDE_REQUIRE(delay >= Duration::zero(), "cannot schedule into the past");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::schedule_at(Duration when, Callback fn) {
+  MONDE_REQUIRE(when >= now_, "cannot schedule before current time");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Engine::run() { run_until(Duration::infinite()); }
+
+void Engine::run_until(Duration deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  if (queue_.empty() && now_ < deadline && deadline < Duration::infinite()) now_ = deadline;
+}
+
+}  // namespace monde::sim

@@ -1,0 +1,64 @@
+// Discrete-event simulation kernel.
+//
+// A minimal, deterministic DES engine: events are (time, sequence) ordered,
+// so simultaneous events fire in scheduling order. Cycle-driven components
+// (the DRAM controller) advance via their own tick loops and use the engine
+// only when coupled with event-driven models.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace monde::sim {
+
+/// Event-driven simulator clock and dispatcher.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] Duration now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time. Delay must be >= 0.
+  void schedule(Duration delay, Callback fn);
+
+  /// Schedule `fn` at an absolute time >= now().
+  void schedule_at(Duration when, Callback fn);
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Run until the queue is empty or simulated time would exceed `deadline`.
+  /// Events at exactly `deadline` are executed.
+  void run_until(Duration deadline);
+
+  /// True if no events are pending.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Number of events executed so far (for tests / stats).
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Duration when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Duration now_ = Duration::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace monde::sim

@@ -1,0 +1,141 @@
+// Unit tests for the analytics: memory footprints (Figure 2(a)/(b),
+// Equations 1-2) and the Table 3 area/power model.
+#include <gtest/gtest.h>
+
+#include "analysis/area_power.hpp"
+#include "analysis/footprint.hpp"
+#include "common/error.hpp"
+
+namespace monde::analysis {
+namespace {
+
+TEST(Footprint, SwitchLargeRow) {
+  const FootprintRow row = footprint(moe::MoeModelConfig::switch_large_128());
+  EXPECT_EQ(row.num_experts, 128);
+  EXPECT_NEAR(row.expert.as_gb(), 51.5, 1.0);
+  EXPECT_NEAR(row.non_expert.as_gb(), 1.1, 0.2);
+  EXPECT_NEAR(row.total().as_gb(), 52.6, 1.2);
+}
+
+TEST(Footprint, ExpertScalingSweepMonotone) {
+  const auto rows = expert_scaling_sweep(moe::MoeModelConfig::switch_large_128());
+  ASSERT_EQ(rows.size(), 5u);  // Dense, E=64, 128, 256, 512
+  EXPECT_EQ(rows[0].num_experts, 0);
+  EXPECT_EQ(rows[0].expert.count(), 0u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].expert.count(), rows[i - 1].expert.count());
+    // Non-expert params do not change with E among the MoE variants. (The
+    // dense baseline keeps its FFNs, so its non-expert share is larger.)
+    EXPECT_EQ(rows[i].non_expert.count(), rows[1].non_expert.count());
+  }
+  EXPECT_GT(rows[0].non_expert.count(), rows[1].non_expert.count());
+  // Expert bytes scale linearly with E (Figure 2(a)'s asymptotic linearity).
+  EXPECT_NEAR(static_cast<double>(rows[2].expert.count()) /
+                  static_cast<double>(rows[1].expert.count()),
+              2.0, 1e-9);
+}
+
+TEST(Footprint, Figure2aScaleGapVsDense) {
+  // Paper narrative: Switch-Large-128 needs ~34x the memory of T5-Large.
+  const auto t5 = footprint(moe::MoeModelConfig::t5_large_dense());
+  const auto sl = footprint(moe::MoeModelConfig::switch_large_128());
+  const double ratio = static_cast<double>(sl.total().count()) /
+                       static_cast<double>(t5.total().count());
+  EXPECT_GT(ratio, 25.0);
+  EXPECT_LT(ratio, 45.0);
+}
+
+TEST(Movement, Equation1FullParameterMovement) {
+  // PMove = 2 * E * dmodel * dff elements.
+  const auto m = moe::MoeModelConfig::nllb_moe_128();
+  const Bytes v = pmove_volume_full(m);
+  EXPECT_EQ(v.count(), 2ull * 128 * 2048 * 8192 * 2);
+}
+
+TEST(Movement, OnDemandPmoveScalesWithActivated) {
+  const auto m = moe::MoeModelConfig::nllb_moe_128();
+  EXPECT_EQ(pmove_volume(m, 0).count(), 0u);
+  EXPECT_EQ(pmove_volume(m, 10).count(), m.expert_bytes().count() * 10);
+  EXPECT_EQ(pmove_volume(m, 128).count(), pmove_volume_full(m).count());
+  EXPECT_THROW((void)pmove_volume(m, 129), Error);
+  EXPECT_THROW((void)pmove_volume(m, -1), Error);
+}
+
+TEST(Movement, Equation2ActivationMovement) {
+  // AMove = 2 * B * S * dmodel elements.
+  const auto m = moe::MoeModelConfig::nllb_moe_128();
+  const Bytes v = amove_volume(m, 4, 512);
+  EXPECT_EQ(v.count(), 2ull * 4 * 512 * 2048 * 2);
+  // The headline gap: full PMove is ~780x AMove for this configuration.
+  EXPECT_GT(pmove_volume_full(m).count(), 500u * v.count());
+}
+
+TEST(Movement, DmodelSweepRatioGrowsLinearly) {
+  // Figure 2(b): expert/activation ratio grows ~linearly with dmodel when
+  // dff = 4*dmodel (quadratic expert vs linear activation scaling).
+  const auto rows = dmodel_scaling_sweep({768, 1024, 1536, 2048, 2560, 4096}, 6144);
+  ASSERT_EQ(rows.size(), 6u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].expert_to_act_ratio, rows[i - 1].expert_to_act_ratio);
+  }
+  const double slope0 = rows[1].expert_to_act_ratio / rows[0].expert_to_act_ratio;
+  const double dm_ratio =
+      static_cast<double>(rows[1].dmodel) / static_cast<double>(rows[0].dmodel);
+  EXPECT_NEAR(slope0, dm_ratio, 0.05);
+}
+
+TEST(AreaPower, ReproducesTable3Exactly) {
+  const AreaPowerModel model;
+  const NdpAreaPowerReport r = model.evaluate(ndp::NdpSpec::monde_dac24());
+  EXPECT_NEAR(r.pe_array.area_mm2, 2.042, 1e-9);
+  EXPECT_NEAR(r.array_control.area_mm2, 0.053, 1e-9);
+  EXPECT_NEAR(r.scratchpad.area_mm2, 0.289, 1e-9);
+  EXPECT_NEAR(r.operand_bufs.area_mm2, 0.570, 1e-9);
+  EXPECT_NEAR(r.pe_array.power_w, 0.993, 1e-9);
+  EXPECT_NEAR(r.array_control.power_w, 0.033, 1e-9);
+  EXPECT_NEAR(r.scratchpad.power_w, 0.258, 1e-9);
+  EXPECT_NEAR(r.operand_bufs.power_w, 0.526, 1e-9);
+  // Paper: ~3.0 mm^2 total area overhead.
+  EXPECT_NEAR(r.total().area_mm2, 2.954, 0.01);
+  EXPECT_NEAR(r.total().power_w, 1.81, 0.01);
+}
+
+TEST(AreaPower, NdpPowerOverheadMatchesPaper) {
+  const AreaPowerModel model;
+  // Paper: base memory device 114.2 W; NDP adds ~1.6%.
+  const double base = model.base_device_power_w(Bytes::gib(512), Bandwidth::gbps(512));
+  EXPECT_NEAR(base, 114.2, 3.0);
+  const double overhead = model.ndp_power_overhead(ndp::NdpSpec::monde_dac24(),
+                                                   Bytes::gib(512), Bandwidth::gbps(512));
+  EXPECT_NEAR(overhead, 0.016, 0.003);
+}
+
+TEST(AreaPower, DramEquivalentArea) {
+  const AreaPowerModel model;
+  // Paper: 3.0 mm^2 corresponds to ~0.9 Gb of target DRAM cells.
+  EXPECT_NEAR(model.dram_equivalent_gb(3.0), 0.9, 0.05);
+}
+
+TEST(AreaPower, ScalesWithUnits) {
+  const AreaPowerModel model;
+  ndp::NdpSpec half = ndp::NdpSpec::monde_dac24();
+  half.num_units = 32;
+  const auto r_half = model.evaluate(half);
+  const auto r_full = model.evaluate(ndp::NdpSpec::monde_dac24());
+  EXPECT_NEAR(r_half.pe_array.area_mm2 * 2.0, r_full.pe_array.area_mm2, 1e-9);
+  EXPECT_NEAR(r_half.array_control.area_mm2 * 2.0, r_full.array_control.area_mm2, 1e-9);
+  // Buffers unchanged.
+  EXPECT_NEAR(r_half.scratchpad.area_mm2, r_full.scratchpad.area_mm2, 1e-9);
+}
+
+TEST(AreaPower, DynamicPowerScalesWithClock) {
+  const AreaPowerModel model;
+  ndp::NdpSpec fast = ndp::NdpSpec::monde_dac24().rate_matched(2.0);
+  const auto r_fast = model.evaluate(fast);
+  const auto r_base = model.evaluate(ndp::NdpSpec::monde_dac24());
+  EXPECT_NEAR(r_fast.total().power_w, 2.0 * r_base.total().power_w, 1e-9);
+  EXPECT_NEAR(r_fast.total().area_mm2, r_base.total().area_mm2, 1e-9);
+}
+
+}  // namespace
+}  // namespace monde::analysis

@@ -1,0 +1,181 @@
+// Unit tests for GEMM descriptors and the GPU / CPU / transformer cost models.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "compute/cpu.hpp"
+#include "compute/gemm.hpp"
+#include "compute/gpu.hpp"
+#include "compute/transformer.hpp"
+
+namespace monde::compute {
+namespace {
+
+TEST(GemmShape, FlopsAndBytes) {
+  const GemmShape g{4, 256, 1024};
+  EXPECT_DOUBLE_EQ(g.flops(), 2.0 * 4 * 256 * 1024);
+  EXPECT_EQ(g.a_bytes(DataType::kBf16).count(), 4u * 1024 * 2);
+  EXPECT_EQ(g.b_bytes(DataType::kBf16).count(), 1024u * 256 * 2);
+  EXPECT_EQ(g.c_bytes(DataType::kFp32).count(), 4u * 256 * 4);
+  EXPECT_GT(g.arithmetic_intensity(DataType::kBf16), 0.0);
+}
+
+TEST(GemmShape, IntensityGrowsWithRows) {
+  const GemmShape small{1, 4096, 1024};
+  const GemmShape big{512, 4096, 1024};
+  EXPECT_GT(big.arithmetic_intensity(DataType::kBf16),
+            small.arithmetic_intensity(DataType::kBf16));
+}
+
+TEST(ExpertShape, MatchesPaperEquations) {
+  // Equation 1 per-expert term: 2 * dmodel * dff parameters.
+  const ExpertShape e{7, 2048, 8192};
+  EXPECT_EQ(e.weight_bytes(DataType::kBf16).count(), 2ull * 2048 * 8192 * 2);
+  // Equation 2: 2 * tokens * dmodel activation elements.
+  EXPECT_EQ(e.activation_bytes(DataType::kBf16).count(), 2ull * 7 * 2048 * 2);
+  // Two linears: dmodel->dff and dff->dmodel.
+  EXPECT_EQ(e.linear1().n, 8192);
+  EXPECT_EQ(e.linear2().n, 2048);
+  EXPECT_DOUBLE_EQ(e.flops(), 2.0 * 7 * 8192 * 2048 * 2.0);
+}
+
+TEST(ExpertShape, NllbExpertIs67MB) {
+  const ExpertShape e{1, 2048, 8192};
+  EXPECT_NEAR(e.weight_bytes(DataType::kBf16).as_mib(), 64.0, 0.1);  // 64 MiB = 67.1 MB
+}
+
+TEST(GpuModel, A100SpecValues) {
+  const GpuSpec s = GpuSpec::a100_pcie_40gb();
+  EXPECT_NEAR(s.peak_flops.as_tflops(), 312.0, 0.1);
+  EXPECT_NEAR(s.hbm_bandwidth.as_gbps(), 1555.0, 0.1);
+}
+
+TEST(GpuModel, SkinnyGemmUnderutilizes) {
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  const Flops skinny = gpu.effective_flops({1, 4096, 1024});
+  const Flops fat = gpu.effective_flops({4096, 4096, 1024});
+  EXPECT_LT(skinny.as_tflops(), fat.as_tflops());
+  EXPECT_LE(fat.as_tflops(),
+            gpu.spec().peak_flops.as_tflops() * gpu.spec().max_compute_utilization + 1e-9);
+}
+
+TEST(GpuModel, MemoryBoundSmallTokenExpert) {
+  // Figure 2(c): a single-token expert is memory-bound; its latency tracks
+  // the weight bytes over HBM bandwidth (plus launch overhead).
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  const ExpertShape e{1, 1024, 4096};
+  const Duration t = gpu.expert_time(e, DataType::kBf16);
+  const Duration weight_stream = transfer_time(
+      e.weight_bytes(DataType::kBf16),
+      gpu.spec().hbm_bandwidth * gpu.spec().hbm_efficiency);
+  EXPECT_GT(t, weight_stream);
+  EXPECT_LT(t, weight_stream + 3.0 * gpu.spec().kernel_launch);
+}
+
+TEST(GpuModel, ComputeBoundLargeGemm) {
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  const GemmShape g{8192, 8192, 8192};
+  const Duration t = gpu.gemm_time(g, DataType::kBf16);
+  const Duration ideal = compute_time(g.flops(), gpu.effective_flops(g));
+  EXPECT_NEAR(t.ms(), (ideal + gpu.spec().kernel_launch).ms(), 0.01);
+}
+
+TEST(GpuModel, LatencyMonotoneInTokens) {
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  Duration prev = Duration::zero();
+  for (const std::int64_t t : {1, 8, 64, 512, 4096}) {
+    const Duration cur = gpu.expert_time({t, 1024, 4096}, DataType::kBf16);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(GpuModel, ZeroTokensZeroTime) {
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  EXPECT_EQ(gpu.expert_time({0, 1024, 4096}, DataType::kBf16), Duration::zero());
+}
+
+TEST(CpuModel, SlowerThanGpuForExperts) {
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  const CpuModel cpu{CpuSpec::xeon_silver_4310()};
+  const ExpertShape e{32, 2048, 8192};
+  EXPECT_GT(cpu.expert_time(e, DataType::kBf16), gpu.expert_time(e, DataType::kBf16));
+}
+
+TEST(CpuModel, EffectiveBandwidthDerated) {
+  const CpuModel cpu{CpuSpec::xeon_silver_4310()};
+  EXPECT_LT(cpu.effective_bandwidth().as_gbps(), cpu.spec().mem_bandwidth.as_gbps());
+  EXPECT_NEAR(cpu.spec().mem_bandwidth.as_gbps(), 187.0, 0.1);  // Table 2
+}
+
+TEST(CpuModel, OverheadDominatesTinyGemm) {
+  const CpuModel cpu{CpuSpec::xeon_silver_4310()};
+  const Duration t = cpu.gemm_time({1, 8, 8}, DataType::kBf16);
+  EXPECT_GE(t, cpu.spec().op_overhead);
+  EXPECT_LT(t, cpu.spec().op_overhead * 1.1);
+}
+
+TEST(TransformerCost, EncoderBlockComponentsPositive) {
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  const TransformerCostModel m{gpu, DataType::kBf16};
+  const auto dense = m.encoder_block(4, 512, 1024, 4096, /*dense_ffn=*/true);
+  EXPECT_GT(dense.attention, Duration::zero());
+  EXPECT_GT(dense.dense_ffn, Duration::zero());
+  EXPECT_GT(dense.elementwise, Duration::zero());
+  const auto moe = m.encoder_block(4, 512, 1024, 4096, /*dense_ffn=*/false);
+  EXPECT_EQ(moe.dense_ffn, Duration::zero());
+  EXPECT_LT(moe.total(), dense.total());
+}
+
+TEST(TransformerCost, DecoderCrossAttentionCosts) {
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  const TransformerCostModel m{gpu, DataType::kBf16};
+  const auto with_cross = m.decoder_block(4, 10, 512, 1024, 4096, true);
+  const auto without = m.decoder_block(4, 10, 0, 1024, 4096, true);
+  EXPECT_GT(with_cross.attention, without.attention);
+}
+
+TEST(TransformerCost, DecoderAttentionGrowsWithPast) {
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  const TransformerCostModel m{gpu, DataType::kBf16};
+  const auto early = m.decoder_block(1, 1, 0, 1024, 4096, true);
+  const auto late = m.decoder_block(1, 2048, 0, 1024, 4096, true);
+  EXPECT_GE(late.attention, early.attention);
+}
+
+TEST(TransformerCost, GatingScalesWithTokens) {
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  const TransformerCostModel m{gpu, DataType::kBf16};
+  EXPECT_LT(m.gating_time(16, 128, 1024), m.gating_time(4096, 128, 1024));
+  EXPECT_GT(m.combine_time(128, 1024), Duration::zero());
+  EXPECT_THROW((void)m.gating_time(0, 128, 1024), Error);
+}
+
+// Property sweep: roofline sanity across shapes -- latency is never below
+// either the pure-compute or pure-memory bound.
+struct RooflineCase {
+  std::int64_t m, n, k;
+};
+
+class GpuRooflineTest : public ::testing::TestWithParam<RooflineCase> {};
+
+TEST_P(GpuRooflineTest, LatencyAboveBothBounds) {
+  const auto [m, n, k] = GetParam();
+  const GpuModel gpu{GpuSpec::a100_pcie_40gb()};
+  const GemmShape g{m, n, k};
+  const Duration t = gpu.gemm_time(g, DataType::kBf16);
+  const Duration compute_bound = compute_time(g.flops(), gpu.spec().peak_flops);
+  const Duration memory_bound = transfer_time(g.total_bytes(DataType::kBf16),
+                                              gpu.spec().hbm_bandwidth);
+  EXPECT_GE(t.ns(), compute_bound.ns() * 0.999);
+  EXPECT_GE(t.ns(), memory_bound.ns() * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GpuRooflineTest,
+                         ::testing::Values(RooflineCase{1, 4096, 1024},
+                                           RooflineCase{16, 8192, 2048},
+                                           RooflineCase{512, 1024, 1024},
+                                           RooflineCase{2048, 8192, 2048},
+                                           RooflineCase{3, 333, 777}));
+
+}  // namespace
+}  // namespace monde::compute

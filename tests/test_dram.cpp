@@ -1,0 +1,293 @@
+// Unit tests for the cycle-level DRAM simulator: address mapping, timing
+// invariants, scheduling quality, refresh, and bandwidth scaling.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dram/dram_system.hpp"
+
+namespace monde::dram {
+namespace {
+
+Spec small_spec() {
+  // A small topology keeps unit tests fast while exercising all fields.
+  Spec s = Spec::monde_lpddr5x_8533();
+  s.org.channels = 2;
+  s.org.ranks = 2;
+  s.org.rows = 256;
+  return s;
+}
+
+TEST(Spec, MondeConfigMatchesPaper) {
+  const Spec s = Spec::monde_lpddr5x_8533();
+  EXPECT_EQ(s.org.channels, 8);
+  // Table 2: 512 GB capacity, ~512 GB/s bandwidth, 68 GB/s per module.
+  EXPECT_NEAR(s.org.total_capacity().as_gib(), 512.0, 1e-9);
+  EXPECT_NEAR(s.channel_peak_bandwidth().as_gbps(), 68.3, 0.2);
+  EXPECT_NEAR(s.total_peak_bandwidth().as_gbps(), 546.0, 2.0);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Spec, ValidateRejectsBadFields) {
+  Spec s = Spec::monde_lpddr5x_8533();
+  s.org.channels = 0;
+  EXPECT_THROW(s.validate(), Error);
+  s = Spec::monde_lpddr5x_8533();
+  s.org.rows = 1000;  // not a power of two
+  EXPECT_THROW(s.validate(), Error);
+  s = Spec::monde_lpddr5x_8533();
+  s.data_rate_mtps = -1;
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(Spec, BandwidthScalingPreservesWallClockTimings) {
+  const Spec base = Spec::monde_lpddr5x_8533();
+  const Spec fast = base.with_bandwidth_scale(2.0);
+  EXPECT_NEAR(fast.total_peak_bandwidth().as_gbps(),
+              2.0 * base.total_peak_bandwidth().as_gbps(), 1.0);
+  // tRCD in nanoseconds stays within one (new) clock period of the original.
+  const double base_ns = base.timing.nRCD * base.clock_period().ns();
+  const double fast_ns = fast.timing.nRCD * fast.clock_period().ns();
+  EXPECT_NEAR(fast_ns, base_ns, fast.clock_period().ns() + 1e-9);
+  EXPECT_THROW(base.with_bandwidth_scale(0.0), Error);
+}
+
+TEST(AddressMapper, RoundTripsRandomAddresses) {
+  const Spec s = Spec::monde_lpddr5x_8533();
+  const AddressMapper mapper{s};
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t addr =
+        (rng.next_u64() % mapper.capacity()) & ~std::uint64_t{0x7F};  // block aligned
+    const Address a = mapper.decompose(addr);
+    EXPECT_EQ(mapper.compose(a), addr);
+  }
+}
+
+TEST(AddressMapper, FieldsWithinBounds) {
+  const Spec s = Spec::monde_lpddr5x_8533();
+  const AddressMapper mapper{s};
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const Address a = mapper.decompose(rng.next_u64() % mapper.capacity());
+    EXPECT_GE(a.channel, 0);
+    EXPECT_LT(a.channel, s.org.channels);
+    EXPECT_LT(a.rank, s.org.ranks);
+    EXPECT_LT(a.bankgroup, s.org.bankgroups);
+    EXPECT_LT(a.bank, s.org.banks_per_group);
+    EXPECT_LT(a.row, s.org.rows);
+    EXPECT_LT(a.column, s.org.columns);
+  }
+}
+
+TEST(AddressMapper, ChannelIsFastestVaryingField) {
+  // ro-ba-bg-ra-co-ch order: consecutive blocks hit consecutive channels.
+  const Spec s = Spec::monde_lpddr5x_8533();
+  const AddressMapper mapper{s};
+  const auto block = static_cast<std::uint64_t>(s.org.access_bytes);
+  for (int i = 0; i < s.org.channels; ++i) {
+    EXPECT_EQ(mapper.decompose(static_cast<std::uint64_t>(i) * block).channel, i);
+  }
+  // After one sweep of channels, the column advances.
+  const Address a = mapper.decompose(static_cast<std::uint64_t>(s.org.channels) * block);
+  EXPECT_EQ(a.channel, 0);
+  EXPECT_EQ(a.column, 1);
+}
+
+TEST(AddressMapper, RejectsOutOfRange) {
+  const Spec s = small_spec();
+  const AddressMapper mapper{s};
+  EXPECT_THROW((void)mapper.decompose(mapper.capacity()), Error);
+  Address a;
+  a.row = s.org.rows;  // one past the end
+  EXPECT_THROW((void)mapper.compose(a), Error);
+}
+
+// Single-read latency should be ACT + RCD + CL + BL within a small slack.
+TEST(DramSystem, ColdReadLatency) {
+  const Spec s = small_spec();
+  DramSystem sys{s};
+  Duration done = Duration::zero();
+  Request req;
+  req.addr = 0;
+  req.type = Request::Type::kRead;
+  req.on_complete = [&](const Request&, Duration t) { done = t; };
+  sys.enqueue(std::move(req));
+  sys.run_until_idle();
+  const double expected_cycles = s.timing.nRCD + s.timing.nCL + s.timing.nBL;
+  const double actual_cycles = done.ns() / s.clock_period().ns();
+  EXPECT_GE(actual_cycles, expected_cycles);
+  EXPECT_LE(actual_cycles, expected_cycles + 4);  // scheduling slack
+}
+
+TEST(DramSystem, RowHitFasterThanRowMiss) {
+  const Spec s = small_spec();
+  const AddressMapper mapper{s};
+
+  auto measure_pair = [&](std::uint64_t addr2) {
+    DramSystem sys{s};
+    Duration t1, t2;
+    Request r1;
+    r1.addr = 0;
+    r1.type = Request::Type::kRead;
+    r1.on_complete = [&](const Request&, Duration t) { t1 = t; };
+    sys.enqueue(std::move(r1));
+    sys.run_until_idle();
+    Request r2;
+    r2.addr = addr2;
+    r2.type = Request::Type::kRead;
+    r2.on_complete = [&](const Request&, Duration t) { t2 = t; };
+    sys.enqueue(std::move(r2));
+    sys.run_until_idle();
+    return (t2 - t1).ns();
+  };
+
+  // Same row, next column in the same channel -> hit.
+  Address hit = mapper.decompose(0);
+  hit.column = 1;
+  // Same bank, different row -> conflict (PRE + ACT).
+  Address miss = mapper.decompose(0);
+  miss.row = 1;
+  const double hit_ns = measure_pair(mapper.compose(hit));
+  const double miss_ns = measure_pair(mapper.compose(miss));
+  EXPECT_LT(hit_ns, miss_ns);
+  // Conflict pays at least tRP + tRCD more than a hit.
+  const double penalty = (s.timing.nRP + s.timing.nRCD) * s.clock_period().ns();
+  EXPECT_GE(miss_ns - hit_ns, penalty * 0.8);
+}
+
+TEST(DramSystem, StreamingReachesHighBandwidth) {
+  const Spec s = Spec::monde_lpddr5x_8533();
+  DramSystem sys{s};
+  const auto block = static_cast<std::uint64_t>(s.org.access_bytes);
+  const std::uint64_t total = 40000;
+  std::uint64_t next = 0;
+  std::uint64_t completed = 0;
+  while (completed < total) {
+    while (next < total && sys.can_accept(next * block)) {
+      Request r;
+      r.addr = next * block;
+      r.type = Request::Type::kRead;
+      r.on_complete = [&](const Request&, Duration) { ++completed; };
+      sys.enqueue(std::move(r));
+      ++next;
+    }
+    sys.tick();
+  }
+  const double achieved = sys.achieved_bandwidth().as_gbps();
+  EXPECT_GT(achieved, 0.85 * s.total_peak_bandwidth().as_gbps());
+  EXPECT_GT(sys.stats().row_hit_rate(), 0.9);
+}
+
+TEST(DramSystem, RefreshesAreIssued) {
+  const Spec s = small_spec();
+  DramSystem sys{s};
+  // Run for > several tREFI with sporadic traffic.
+  const auto block = static_cast<std::uint64_t>(s.org.access_bytes);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    Request r;
+    r.addr = static_cast<std::uint64_t>(epoch) * block;
+    r.type = Request::Type::kRead;
+    sys.enqueue(std::move(r));
+    for (int i = 0; i < s.timing.nREFI; ++i) sys.tick();
+  }
+  sys.run_until_idle();
+  EXPECT_GT(sys.stats().refreshes, 0u);
+}
+
+TEST(DramSystem, WritesCompleteAndDrain) {
+  const Spec s = small_spec();
+  DramSystem sys{s};
+  const auto block = static_cast<std::uint64_t>(s.org.access_bytes);
+  std::uint64_t completed = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    while (!sys.can_accept(i * block)) sys.tick();
+    Request r;
+    r.addr = i * block;
+    r.type = Request::Type::kWrite;
+    r.on_complete = [&](const Request&, Duration) { ++completed; };
+    sys.enqueue(std::move(r));
+  }
+  sys.run_until_idle();
+  EXPECT_EQ(completed, 100u);
+  EXPECT_EQ(sys.stats().writes_completed, 100u);
+  EXPECT_TRUE(sys.idle());
+}
+
+TEST(DramSystem, MixedReadWriteConserved) {
+  const Spec s = small_spec();
+  DramSystem sys{s};
+  Rng rng{7};
+  const auto block = static_cast<std::uint64_t>(s.org.access_bytes);
+  const std::uint64_t blocks = s.org.total_capacity().count() / block;
+  std::uint64_t completed = 0;
+  const std::uint64_t total = 2000;
+  std::uint64_t issued = 0;
+  while (completed < total) {
+    while (issued < total) {
+      const std::uint64_t addr = (rng.next_u64() % blocks) * block;
+      if (!sys.can_accept(addr)) break;
+      Request r;
+      r.addr = addr;
+      r.type = (rng.next_u64() & 1) ? Request::Type::kWrite : Request::Type::kRead;
+      r.on_complete = [&](const Request&, Duration) { ++completed; };
+      sys.enqueue(std::move(r));
+      ++issued;
+    }
+    sys.tick();
+  }
+  EXPECT_EQ(sys.stats().reads_completed + sys.stats().writes_completed, total);
+}
+
+TEST(DramSystem, EnqueueWithoutAdmissionCheckThrows) {
+  const Spec s = small_spec();
+  DramSystem sys{s};
+  // Saturate one channel's read queue.
+  std::uint64_t i = 0;
+  const auto chan_stride =
+      static_cast<std::uint64_t>(s.org.access_bytes) * static_cast<std::uint64_t>(s.org.channels);
+  while (sys.can_accept(i * chan_stride)) {
+    Request r;
+    r.addr = i * chan_stride;  // always channel 0
+    r.type = Request::Type::kRead;
+    sys.enqueue(std::move(r));
+    ++i;
+  }
+  Request r;
+  r.addr = i * chan_stride;
+  r.type = Request::Type::kRead;
+  EXPECT_THROW(sys.enqueue(std::move(r)), Error);
+}
+
+// Property sweep: achieved bandwidth scales with the data-rate knob
+// (Figure 7(b)'s 0.5x / 1x / 2x memory configurations).
+class BandwidthScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthScaleTest, StreamingTracksScale) {
+  const double scale = GetParam();
+  const Spec s = Spec::monde_lpddr5x_8533().with_bandwidth_scale(scale);
+  DramSystem sys{s};
+  const auto block = static_cast<std::uint64_t>(s.org.access_bytes);
+  const std::uint64_t total = 20000;
+  std::uint64_t next = 0, completed = 0;
+  while (completed < total) {
+    while (next < total && sys.can_accept(next * block)) {
+      Request r;
+      r.addr = next * block;
+      r.type = Request::Type::kRead;
+      r.on_complete = [&](const Request&, Duration) { ++completed; };
+      sys.enqueue(std::move(r));
+      ++next;
+    }
+    sys.tick();
+  }
+  EXPECT_GT(sys.achieved_bandwidth().as_gbps(), 0.8 * s.total_peak_bandwidth().as_gbps());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, BandwidthScaleTest, ::testing::Values(0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace monde::dram

@@ -1,0 +1,210 @@
+// Cross-module integration tests: the qualitative trends of the paper's
+// evaluation figures must hold end-to-end.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/load_balancer.hpp"
+
+namespace monde::core {
+namespace {
+
+/// Reduced-depth variant keeps integration tests fast while preserving the
+/// per-layer physics (the trends are per-MoE-layer properties).
+moe::MoeModelConfig shallow(moe::MoeModelConfig m) {
+  m.encoder_blocks = 8;
+  m.decoder_blocks = 8;
+  return m;
+}
+
+double encoder_speedup_lb_over_pm(const moe::MoeModelConfig& model,
+                                  const moe::SkewProfile& prof, std::int64_t batch,
+                                  std::shared_ptr<ndp::NdpCoreSim> sim) {
+  const SystemConfig sys = SystemConfig::dac24();
+  InferenceEngine pm{sys, model, prof, StrategyKind::kGpuPmove, 42, sim};
+  InferenceEngine lb{sys, model, prof, StrategyKind::kMondeLoadBalanced, 42, sim};
+  const double t_pm = pm.run_encoder(batch, 512).total.sec();
+  const double t_lb = lb.run_encoder(batch, 512).total.sec();
+  return t_pm / t_lb;
+}
+
+TEST(Trends, Figure6MondeWinsAndOrderingHolds) {
+  // GPU+PM < MD+AM < MD+LB <= Ideal throughput for the encoder.
+  const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
+  const SystemConfig sys = SystemConfig::dac24();
+  auto sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+  double tput[4];
+  const StrategyKind kinds[] = {StrategyKind::kGpuPmove, StrategyKind::kMondeAmove,
+                                StrategyKind::kMondeLoadBalanced, StrategyKind::kIdealGpu};
+  for (int i = 0; i < 4; ++i) {
+    InferenceEngine eng{sys, model, moe::SkewProfile::nllb_like(), kinds[i], 42, sim};
+    tput[i] = eng.run_encoder(4, 512).throughput_tokens_per_s();
+  }
+  EXPECT_LT(tput[0], tput[1]);  // PM < AM
+  EXPECT_LT(tput[1], tput[2]);  // AM < LB
+  EXPECT_LE(tput[2], tput[3] * 1.02);  // LB <= Ideal
+  // Substantial speedup (paper: 6.7x for the NLLB encoder).
+  EXPECT_GT(tput[2] / tput[0], 3.0);
+}
+
+TEST(Trends, Figure6DecoderGainsSmallerThanEncoder) {
+  const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
+  const SystemConfig sys = SystemConfig::dac24();
+  auto sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+  InferenceEngine pm{sys, model, moe::SkewProfile::nllb_like(), StrategyKind::kGpuPmove, 42,
+                     sim};
+  InferenceEngine lb{sys, model, moe::SkewProfile::nllb_like(),
+                     StrategyKind::kMondeLoadBalanced, 42, sim};
+  const double enc =
+      pm.run_encoder(4, 512).total.sec() / lb.run_encoder(4, 512).total.sec();
+  const double dec =
+      pm.run_decoder(4, 8).total.sec() / lb.run_decoder(4, 8).total.sec();
+  EXPECT_GT(enc, dec);
+  EXPECT_GT(dec, 1.0);  // MoNDE still wins on the decoder
+}
+
+TEST(Trends, Figure7aSpeedupGrowsWithModelScale) {
+  // MD+LB speedup over GPU+PM rises from d768-E64 to d768-E128 to d1024-E128.
+  const moe::SkewProfile prof = moe::SkewProfile::switch_like();
+  const auto v1 = shallow(moe::MoeModelConfig::switch_variant(768, 64));
+  const auto v2 = shallow(moe::MoeModelConfig::switch_variant(768, 128));
+  const auto v3 = shallow(moe::MoeModelConfig::switch_variant(1024, 128));
+  const SystemConfig sys = SystemConfig::dac24();
+  auto sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+  const double s1 = encoder_speedup_lb_over_pm(v1, prof, 1, sim);
+  const double s2 = encoder_speedup_lb_over_pm(v2, prof, 1, sim);
+  const double s3 = encoder_speedup_lb_over_pm(v3, prof, 1, sim);
+  EXPECT_GT(s1, 1.0);
+  EXPECT_GT(s2, s1 * 0.95);  // more experts -> more offloadable cold work
+  EXPECT_GT(s3, s2 * 0.95);  // larger dmodel -> heavier PMove penalty
+  EXPECT_GT(s3, s1);         // end-to-end trend must strictly hold
+}
+
+TEST(Trends, Figure7bBandwidthScalingHelpsAmove) {
+  // 0.5x / 1x / 2x MoNDE bandwidth with rate-matched compute: MD+AM MoE
+  // latency must fall monotonically.
+  const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
+  double moe_time[3];
+  const double scales[] = {0.5, 1.0, 2.0};
+  for (int i = 0; i < 3; ++i) {
+    const SystemConfig sys = SystemConfig::dac24().with_monde_bandwidth_scale(scales[i]);
+    InferenceEngine eng{sys, model, moe::SkewProfile::nllb_like(),
+                        StrategyKind::kMondeAmove, 42};
+    moe_time[i] = eng.run_encoder(1, 512).moe.sec();
+  }
+  EXPECT_GT(moe_time[0], moe_time[1]);
+  EXPECT_GT(moe_time[1], moe_time[2]);
+}
+
+TEST(Trends, Figure8CpuSlowerThanNdp) {
+  // CPU+AM pays lower memory bandwidth and weaker GEMM throughput.
+  const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
+  const SystemConfig sys = SystemConfig::dac24();
+  auto sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+  InferenceEngine cpu{sys, model, moe::SkewProfile::nllb_like(), StrategyKind::kCpuAmove,
+                      42, sim};
+  InferenceEngine md{sys, model, moe::SkewProfile::nllb_like(), StrategyKind::kMondeAmove,
+                     42, sim};
+  const double cpu_moe = cpu.run_encoder(4, 512).moe.sec();
+  const double md_moe = md.run_encoder(4, 512).moe.sec();
+  EXPECT_GT(cpu_moe / md_moe, 2.0);  // paper: 9.1x for the encoder
+}
+
+TEST(Trends, Figure9MultiMondeScalesEncoder) {
+  const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
+  double moe_time[3];
+  const int devices[] = {1, 2, 4};
+  for (int i = 0; i < 3; ++i) {
+    SystemConfig sys = SystemConfig::dac24();
+    sys.num_monde_devices = devices[i];
+    InferenceEngine eng{sys, model, moe::SkewProfile::nllb_like(),
+                        StrategyKind::kMondeAmove, 42};
+    moe_time[i] = eng.run_encoder(4, 512).moe.sec();
+  }
+  EXPECT_LE(moe_time[1], moe_time[0] * 1.001);
+  EXPECT_LE(moe_time[2], moe_time[1] * 1.001);
+  // Some real scaling from 1 -> 4 devices.
+  EXPECT_GT(moe_time[0] / moe_time[2], 1.15);
+}
+
+TEST(Trends, Figure10TwoGpuEncoderWinsDecoderComparable) {
+  const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
+  SystemConfig sys2 = SystemConfig::dac24();
+  sys2.num_gpus = 2;
+  const SystemConfig sys1 = SystemConfig::dac24();
+  auto sim = std::make_shared<ndp::NdpCoreSim>(sys1.ndp, sys1.monde_mem);
+  InferenceEngine lb{sys1, model, moe::SkewProfile::nllb_like(),
+                     StrategyKind::kMondeLoadBalanced, 42, sim};
+  InferenceEngine two{sys2, model, moe::SkewProfile::nllb_like(), StrategyKind::kMultiGpu,
+                      42, sim};
+  // Encoder: resident-weight multi-GPU beats MD+LB.
+  EXPECT_GT(two.run_encoder(4, 512).throughput_tokens_per_s(),
+            lb.run_encoder(4, 512).throughput_tokens_per_s());
+  // Decoder: MoNDE is comparable (within 2x either way).
+  const double r = two.run_decoder(1, 8).throughput_tokens_per_s() /
+                   lb.run_decoder(1, 8).throughput_tokens_per_s();
+  EXPECT_GT(r, 0.5);
+  EXPECT_LT(r, 2.0);
+}
+
+TEST(Trends, LoadBalancerTracksBandwidthInEquation6) {
+  // Higher MoNDE bandwidth -> lower, more conservative H (paper Section 4.2).
+  const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
+  moe::WorkloadGenerator gen{model, moe::SkewProfile::nllb_like(), 42};
+  const auto work = gen.encoder_pass(4, 512).moe_layers[0];
+
+  auto h_at_scale = [&](double scale) {
+    SystemConfig sys = SystemConfig::dac24().with_monde_bandwidth_scale(scale);
+    InferenceEngine eng{sys, model, moe::SkewProfile::nllb_like(),
+                        StrategyKind::kMondeLoadBalanced, 42};
+    auto& lb = dynamic_cast<MondeLoadBalanced&>(eng.strategy());
+    return lb.h_from_equation6(work, 1.0);
+  };
+  EXPECT_GE(h_at_scale(0.5), h_at_scale(1.0));
+  EXPECT_GE(h_at_scale(1.0), h_at_scale(2.0));
+}
+
+// Property sweep: every strategy produces a valid timeline and conserves
+// experts for both models and multiple batch sizes end-to-end.
+struct EngineCase {
+  StrategyKind kind;
+  std::int64_t batch;
+};
+
+class EngineValidityTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineValidityTest, TimelineValidAndTokensConserved) {
+  const auto [kind, batch] = GetParam();
+  SystemConfig sys = SystemConfig::dac24();
+  if (kind == StrategyKind::kMultiGpu) sys.num_gpus = 2;
+  auto model = shallow(moe::MoeModelConfig::switch_variant(512, 32));
+  model.vocab_size = 8192;
+  InferenceEngine eng{sys, model, moe::SkewProfile::switch_like(), kind, 42};
+  const RunReport enc = eng.run_encoder(batch, 256);
+  EXPECT_TRUE(enc.timeline.validate().empty()) << enc.timeline.validate();
+  for (const auto& layer : enc.layers) {
+    EXPECT_GT(layer.experts_gpu + layer.experts_ndp + layer.experts_cpu, 0);
+  }
+  const RunReport dec = eng.run_decoder(batch, 4, 256);
+  EXPECT_TRUE(dec.timeline.validate().empty()) << dec.timeline.validate();
+  EXPECT_GT(dec.throughput_tokens_per_s(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, EngineValidityTest,
+    ::testing::Values(EngineCase{StrategyKind::kIdealGpu, 1},
+                      EngineCase{StrategyKind::kGpuPmove, 1},
+                      EngineCase{StrategyKind::kMondeAmove, 1},
+                      EngineCase{StrategyKind::kMondeLoadBalanced, 1},
+                      EngineCase{StrategyKind::kCpuAmove, 1},
+                      EngineCase{StrategyKind::kMultiGpu, 1},
+                      EngineCase{StrategyKind::kIdealGpu, 4},
+                      EngineCase{StrategyKind::kGpuPmove, 4},
+                      EngineCase{StrategyKind::kMondeAmove, 4},
+                      EngineCase{StrategyKind::kMondeLoadBalanced, 4},
+                      EngineCase{StrategyKind::kCpuAmove, 4},
+                      EngineCase{StrategyKind::kMultiGpu, 4}));
+
+}  // namespace
+}  // namespace monde::core

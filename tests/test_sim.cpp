@@ -1,0 +1,181 @@
+// Unit tests for the discrete-event kernel and stream timelines.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+#include "sim/timeline.hpp"
+
+namespace monde::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(Duration::nanos(30), [&] { order.push_back(3); });
+  eng.schedule(Duration::nanos(10), [&] { order.push_back(1); });
+  eng.schedule(Duration::nanos(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now().ns(), 30.0);
+  EXPECT_EQ(eng.executed_events(), 3u);
+}
+
+TEST(Engine, SimultaneousEventsFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule(Duration::nanos(10), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, CallbacksCanScheduleMore) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(Duration::nanos(5), [&] {
+    ++fired;
+    eng.schedule(Duration::nanos(5), [&] { ++fired; });
+  });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(eng.now().ns(), 10.0);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(Duration::nanos(10), [&] { ++fired; });
+  eng.schedule(Duration::nanos(100), [&] { ++fired; });
+  eng.run_until(Duration::nanos(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(eng.idle());
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(eng.idle());
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine eng;
+  eng.schedule(Duration::nanos(10), [] {});
+  eng.run();
+  EXPECT_THROW(eng.schedule_at(Duration::nanos(5), [] {}), Error);
+  EXPECT_THROW(eng.schedule(Duration::nanos(-1), [] {}), Error);
+}
+
+TEST(Timeline, RecordsAndQueries) {
+  Timeline tl;
+  tl.record({StreamId{0}, Duration::nanos(0), Duration::nanos(10), "a", "x"});
+  tl.record({StreamId{1}, Duration::nanos(5), Duration::nanos(25), "b", "y"});
+  tl.record({StreamId{0}, Duration::nanos(10), Duration::nanos(12), "c", "x"});
+  EXPECT_DOUBLE_EQ(tl.end_time().ns(), 25.0);
+  EXPECT_DOUBLE_EQ(tl.busy_time(StreamId{0}).ns(), 12.0);
+  EXPECT_DOUBLE_EQ(tl.busy_time(StreamId{1}).ns(), 20.0);
+  EXPECT_TRUE(tl.validate().empty());
+}
+
+TEST(Timeline, DetectsOverlap) {
+  Timeline tl;
+  tl.record({StreamId{0}, Duration::nanos(0), Duration::nanos(10), "a", "x"});
+  tl.record({StreamId{0}, Duration::nanos(5), Duration::nanos(15), "b", "x"});
+  EXPECT_FALSE(tl.validate().empty());
+}
+
+TEST(Timeline, BackToBackIsNotOverlap) {
+  Timeline tl;
+  tl.record({StreamId{0}, Duration::nanos(0), Duration::nanos(10), "a", "x"});
+  tl.record({StreamId{0}, Duration::nanos(10), Duration::nanos(20), "b", "x"});
+  EXPECT_TRUE(tl.validate().empty());
+}
+
+TEST(Timeline, ZeroLengthMarkersAllowed) {
+  Timeline tl;
+  tl.record({StreamId{0}, Duration::nanos(0), Duration::nanos(10), "a", "x"});
+  tl.record({StreamId{0}, Duration::nanos(5), Duration::nanos(5), "marker", "m"});
+  EXPECT_TRUE(tl.validate().empty());
+}
+
+TEST(Timeline, RejectsNegativeInterval) {
+  Timeline tl;
+  EXPECT_THROW(tl.record({StreamId{0}, Duration::nanos(10), Duration::nanos(5), "bad", "x"}),
+               Error);
+}
+
+TEST(Timeline, ChromeTraceContainsStreamsAndEvents) {
+  Timeline tl;
+  tl.record({StreamId{0}, Duration::nanos(0), Duration::micros(1), "gemm-0", "gemm"});
+  const std::string json = tl.to_chrome_trace({"GPU"});
+  EXPECT_NE(json.find("\"GPU\""), std::string::npos);
+  EXPECT_NE(json.find("gemm-0"), std::string::npos);
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST(Timeline, AsciiGanttRendersRows) {
+  Timeline tl;
+  tl.record({StreamId{0}, Duration::nanos(0), Duration::nanos(50), "a", "pmove"});
+  tl.record({StreamId{1}, Duration::nanos(50), Duration::nanos(100), "b", "gemm"});
+  const std::string g = tl.to_ascii_gantt({"GPU", "PCIe"}, 40);
+  EXPECT_NE(g.find("GPU"), std::string::npos);
+  EXPECT_NE(g.find("PCIe"), std::string::npos);
+  EXPECT_NE(g.find("legend:"), std::string::npos);
+}
+
+TEST(Timeline, MergeCombinesIntervals) {
+  Timeline a, b;
+  a.record({StreamId{0}, Duration::nanos(0), Duration::nanos(5), "a", "x"});
+  b.record({StreamId{1}, Duration::nanos(0), Duration::nanos(9), "b", "y"});
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.end_time().ns(), 9.0);
+}
+
+TEST(StreamSchedule, PlacementRespectsEarliestAndBusy) {
+  StreamSchedule sched;
+  const StreamId s = sched.add_stream("S");
+  const auto a = sched.place(s, Duration::nanos(10), Duration::nanos(5), "a", "x");
+  EXPECT_DOUBLE_EQ(a.start.ns(), 10.0);
+  EXPECT_DOUBLE_EQ(a.end.ns(), 15.0);
+  // Earliest before stream-free: starts when the stream frees.
+  const auto b = sched.place(s, Duration::nanos(0), Duration::nanos(5), "b", "x");
+  EXPECT_DOUBLE_EQ(b.start.ns(), 15.0);
+  // Earliest after stream-free: starts at earliest.
+  const auto c = sched.place(s, Duration::nanos(100), Duration::nanos(1), "c", "x");
+  EXPECT_DOUBLE_EQ(c.start.ns(), 100.0);
+  EXPECT_TRUE(sched.timeline().validate().empty());
+}
+
+TEST(StreamSchedule, IndependentStreamsOverlap) {
+  StreamSchedule sched;
+  const StreamId s0 = sched.add_stream("A");
+  const StreamId s1 = sched.add_stream("B");
+  sched.place(s0, Duration::zero(), Duration::nanos(100), "a", "x");
+  const auto b = sched.place(s1, Duration::zero(), Duration::nanos(100), "b", "x");
+  EXPECT_DOUBLE_EQ(b.start.ns(), 0.0);
+  EXPECT_DOUBLE_EQ(sched.makespan().ns(), 100.0);
+}
+
+TEST(StreamSchedule, BlockUntilAdvancesWithoutRecording) {
+  StreamSchedule sched;
+  const StreamId s = sched.add_stream("S");
+  sched.block_until(s, Duration::nanos(42));
+  EXPECT_DOUBLE_EQ(sched.free_at(s).ns(), 42.0);
+  EXPECT_TRUE(sched.timeline().intervals().empty());
+}
+
+TEST(StreamSchedule, RejectsUnknownStream) {
+  StreamSchedule sched;
+  EXPECT_THROW(sched.place(StreamId{5}, Duration::zero(), Duration::zero(), "x", "y"), Error);
+  EXPECT_THROW((void)sched.free_at(StreamId{1}), Error);
+}
+
+TEST(StreamSchedule, ZeroLengthTaskRecordsMarker) {
+  StreamSchedule sched;
+  const StreamId s = sched.add_stream("S");
+  const auto iv = sched.place(s, Duration::nanos(3), Duration::zero(), "marker", "m");
+  EXPECT_DOUBLE_EQ(iv.start.ns(), iv.end.ns());
+  EXPECT_EQ(sched.timeline().intervals().size(), 1u);
+}
+
+}  // namespace
+}  // namespace monde::sim
