@@ -35,6 +35,24 @@ class EngineFactory {
     return core::InferenceEngine{sys, model, prof, kind, seed, sim};
   }
 
+  /// Memo-cache effectiveness across every simulator this factory created
+  /// (NdpCoreSim::memo_hits/memo_misses): how much cycle-level simulation
+  /// the shape memoization avoided.
+  void report_memo_stats() const {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (const auto& [key, sim] : sims_) {
+      if (!sim) continue;
+      hits += sim->memo_hits();
+      misses += sim->memo_misses();
+    }
+    const std::uint64_t lookups = hits + misses;
+    std::printf("\nNDP shape-memo: %llu lookups, %llu cycle-level sims avoided (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(lookups), static_cast<unsigned long long>(hits),
+                lookups == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                         static_cast<double>(lookups));
+  }
+
  private:
   using Key = std::tuple<double, double, int>;
   std::map<Key, std::shared_ptr<ndp::NdpCoreSim>> sims_;

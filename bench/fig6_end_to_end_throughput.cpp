@@ -54,5 +54,6 @@ int main() {
   }
   std::printf("paper: MD+LB over GPU+PM -- encoder 3.1x (SL-128) / 6.7x (N-MoE);\n"
               "       decoder 1.1x / 1.9x; MD+LB approaches the Ideal GPU.\n");
+  factory.report_memo_stats();
   return 0;
 }

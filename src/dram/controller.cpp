@@ -58,23 +58,37 @@ void ChannelController::enqueue(Request req, std::uint64_t now_cycle) {
   if (e.req.type == Request::Type::kRead) {
     MONDE_REQUIRE(read_q_.size() < kQueueCapacity, "read queue overflow");
     read_q_.push_back(std::move(e));
+    if (read_q_.size() <= kSchedulerScanDepth) read_prep_cache_.valid = false;
   } else {
     MONDE_REQUIRE(write_q_.size() < kQueueCapacity, "write queue overflow");
     write_q_.push_back(std::move(e));
+    if (write_q_.size() <= kSchedulerScanDepth) write_prep_cache_.valid = false;
   }
 }
 
-bool ChannelController::can_activate(const Address& a, std::uint64_t c) const {
+std::uint64_t ChannelController::earliest_act_cycle(const Address& a) const {
   const Bank& b = bank_at(a);
   const RankState& r = ranks_[static_cast<std::size_t>(a.rank)];
-  if (b.open) return false;
-  if (c < b.next_act || c < r.next_act) return false;
-  // tFAW: at most 4 ACTs per rank in any nFAW window.
-  if (r.act_window.size() >= 4 &&
-      c < r.act_window.front() + static_cast<std::uint64_t>(spec_.timing.nFAW)) {
-    return false;
+  std::uint64_t c = std::max(b.next_act, r.next_act);
+  // tFAW: at most kFawActivates ACTs per rank in any nFAW window.
+  if (r.act_window.size() >= kFawActivates) {
+    c = std::max(c, r.act_window.front() + static_cast<std::uint64_t>(spec_.timing.nFAW));
   }
-  return true;
+  return c;
+}
+
+std::uint64_t ChannelController::earliest_cas_cycle(const Address& a, bool is_read) const {
+  const Bank& b = bank_at(a);
+  const RankState& r = ranks_[static_cast<std::size_t>(a.rank)];
+  std::uint64_t c = is_read ? std::max(b.next_rd, r.next_rd) : std::max(b.next_wr, r.next_wr);
+  // Data bus must be free when the data burst starts, CL/WL after the CAS.
+  const auto lat = static_cast<std::uint64_t>(is_read ? spec_.timing.nCL : spec_.timing.nWL);
+  if (bus_free_ > lat) c = std::max(c, bus_free_ - lat);
+  return c;
+}
+
+bool ChannelController::can_activate(const Address& a, std::uint64_t c) const {
+  return !bank_at(a).open && c >= earliest_act_cycle(a);
 }
 
 bool ChannelController::can_precharge(const Address& a, std::uint64_t c) const {
@@ -84,24 +98,18 @@ bool ChannelController::can_precharge(const Address& a, std::uint64_t c) const {
 
 bool ChannelController::can_read(const Address& a, std::uint64_t c) const {
   const Bank& b = bank_at(a);
-  const RankState& r = ranks_[static_cast<std::size_t>(a.rank)];
   if (!b.open || b.open_row != a.row) return false;
-  if (c < b.next_rd || c < r.next_rd) return false;
-  // Data bus must be free when read data arrives.
-  const std::uint64_t data_start = c + static_cast<std::uint64_t>(spec_.timing.nCL);
-  return data_start >= bus_free_;
+  return c >= earliest_cas_cycle(a, /*is_read=*/true);
 }
 
 bool ChannelController::can_write(const Address& a, std::uint64_t c) const {
   const Bank& b = bank_at(a);
-  const RankState& r = ranks_[static_cast<std::size_t>(a.rank)];
   if (!b.open || b.open_row != a.row) return false;
-  if (c < b.next_wr || c < r.next_wr) return false;
-  const std::uint64_t data_start = c + static_cast<std::uint64_t>(spec_.timing.nWL);
-  return data_start >= bus_free_;
+  return c >= earliest_cas_cycle(a, /*is_read=*/false);
 }
 
 void ChannelController::issue_activate(const Address& a, std::uint64_t c) {
+  invalidate_prep_caches();
   Bank& b = bank_at(a);
   RankState& r = ranks_[static_cast<std::size_t>(a.rank)];
   const Timing& t = spec_.timing;
@@ -123,11 +131,12 @@ void ChannelController::issue_activate(const Address& a, std::uint64_t c) {
     sb.next_act = std::max(sb.next_act, c + static_cast<std::uint64_t>(t.nRRDL));
   }
   r.act_window.push_back(c);
-  while (r.act_window.size() > 4) r.act_window.pop_front();
+  while (r.act_window.size() > kFawActivates) r.act_window.pop_front();
   ++stats_.activates;
 }
 
 void ChannelController::issue_precharge(const Address& a, std::uint64_t c) {
+  invalidate_prep_caches();
   Bank& b = bank_at(a);
   b.open = false;
   b.open_row = -1;
@@ -147,12 +156,8 @@ void ChannelController::issue_cas(Entry& e, std::uint64_t c, bool first_service)
   bus_free_ = data_end;
   stats_.data_bus_busy_cycles += static_cast<std::uint64_t>(t.nBL);
 
-  // CAS-to-CAS separation: long within the same bank group, short across.
-  for (std::size_t i = 0; i < banks_.size(); ++i) {
-    // Applying CCD at rank level: use next_rd/next_wr on the rank for the
-    // short distance and per-bank for the long distance.
-    (void)i;
-  }
+  // CAS-to-CAS separation: long within the same bank group (per-bank state
+  // below), short across (rank-level state).
   r.next_rd = std::max(r.next_rd, c + static_cast<std::uint64_t>(t.nCCDS));
   r.next_wr = std::max(r.next_wr, c + static_cast<std::uint64_t>(t.nCCDS));
   for (int bank = 0; bank < spec_.org.banks_per_group; ++bank) {
@@ -183,10 +188,14 @@ void ChannelController::issue_cas(Entry& e, std::uint64_t c, bool first_service)
 
   MONDE_ASSERT(r.queued_demand > 0, "rank demand accounting underflow");
   r.queued_demand--;
+  // bus_free_ is monotone, so completions are FIFO; retire() relies on this.
+  MONDE_ASSERT(inflight_.empty() || inflight_.back().complete_cycle < data_end,
+               "in-flight completions must be FIFO");
   inflight_.push_back(InFlight{std::move(e.req), data_end, e.enqueue_cycle, is_read});
 }
 
 void ChannelController::issue_refresh(int rank, std::uint64_t c) {
+  invalidate_prep_caches();
   RankState& r = ranks_[static_cast<std::size_t>(rank)];
   const Timing& t = spec_.timing;
   for (int fb = 0; fb < spec_.org.banks_per_rank(); ++fb) {
@@ -212,7 +221,11 @@ bool ChannelController::try_refresh(std::uint64_t c) {
       const bool forced =
           c >= r.refresh_due +
                    kMaxPostponedRefreshes * static_cast<std::uint64_t>(spec_.timing.nREFI);
-      if (forced || r.queued_demand == 0) r.refresh_pending = true;
+      if ((forced || r.queued_demand == 0) && !r.refresh_pending) {
+        r.refresh_pending = true;
+        // refresh_pending changes which entries the prep scan may consider.
+        invalidate_prep_caches();
+      }
     }
     if (!r.refresh_pending) continue;
     // Close any open bank in this rank, oldest-first by simple scan.
@@ -252,6 +265,7 @@ bool ChannelController::try_refresh(std::uint64_t c) {
 
 bool ChannelController::schedule_queue(std::deque<Entry>& q, std::uint64_t c) {
   const std::size_t scan = std::min(q.size(), kSchedulerScanDepth);
+  PrepCache& cache = prep_cache_for(q);
 
   // Pass 1 (FR): find the oldest row-hit request whose CAS can issue now,
   // and count how much row-hit work is buffered behind it. When plenty of
@@ -259,6 +273,9 @@ bool ChannelController::schedule_queue(std::deque<Entry>& q, std::uint64_t c) {
   // (ACT/PRE for a younger request's bank) instead hides the tRCD+tRP
   // latency of upcoming row/rank switches behind the ongoing data burst --
   // the "open next row early" policy of streaming-oriented controllers.
+  // The decision below needs only `hit_idx` and whether the buffered hit
+  // count reaches kPrepSlackHits, so the scan stops as soon as both are
+  // known (in steady-state streaming: after a handful of entries).
   std::size_t hit_idx = q.size();
   std::size_t hits_buffered = 0;
   for (std::size_t i = 0; i < scan; ++i) {
@@ -273,16 +290,21 @@ bool ChannelController::schedule_queue(std::deque<Entry>& q, std::uint64_t c) {
                                                          : can_write(e.addr, c);
       if (ok) hit_idx = i;
     }
+    if (hit_idx != q.size() && hits_buffered >= kPrepSlackHits) break;
   }
 
   // Prep commands are safe to issue eagerly (PRE never closes a row an
   // older request still wants; ACT only opens needed rows), so prefer them
   // whenever a few CAS are buffered to absorb the one-cycle command slot.
-  constexpr std::size_t kPrepSlackHits = 4;
   const bool cas_has_slack = hits_buffered >= kPrepSlackHits;
 
-  // Pass 2 (FCFS / prep): oldest request that needs bank preparation.
+  // Pass 2 (FCFS / prep): oldest request that needs bank preparation. A
+  // failed scan records when it could first succeed so the (hot) all-hits
+  // streaming case skips the rescan entirely until then.
   auto try_prep = [&]() -> bool {
+    if (cache.valid && c < cache.blocked_until) return false;
+    std::uint64_t blocked_until = kNeverCycle;
+    bool has_conflict = false;
     for (std::size_t i = 0; i < scan; ++i) {
       Entry& e = q[i];
       const RankState& r = ranks_[static_cast<std::size_t>(e.addr.rank)];
@@ -303,6 +325,11 @@ bool ChannelController::schedule_queue(std::deque<Entry>& q, std::uint64_t c) {
           issue_precharge(e.addr, c);
           return true;
         }
+        if (older_wants_row) {
+          has_conflict = true;  // unblocks only via a queue change
+        } else {
+          blocked_until = std::min(blocked_until, b.next_pre);
+        }
         continue;
       }
       if (!b.open) {
@@ -311,10 +338,14 @@ bool ChannelController::schedule_queue(std::deque<Entry>& q, std::uint64_t c) {
           issue_activate(e.addr, c);
           return true;
         }
+        blocked_until = std::min(blocked_until, earliest_act_cycle(e.addr));
         continue;
       }
       // Row open and matching: CAS handled by pass 1.
     }
+    cache.valid = true;
+    cache.has_conflict = has_conflict;
+    cache.blocked_until = blocked_until;
     return false;
   };
 
@@ -322,29 +353,53 @@ bool ChannelController::schedule_queue(std::deque<Entry>& q, std::uint64_t c) {
   if (hit_idx != q.size()) {
     issue_cas(q[hit_idx], c, /*first_service=*/true);
     q.erase(q.begin() + static_cast<std::ptrdiff_t>(hit_idx));
+    on_window_entry_removed(q, cache);
     return true;
   }
   return try_prep();
 }
 
+ChannelController::PrepCache& ChannelController::prep_cache_for(const std::deque<Entry>& q) {
+  return &q == &read_q_ ? read_prep_cache_ : write_prep_cache_;
+}
+
+void ChannelController::invalidate_prep_caches() {
+  read_prep_cache_.valid = false;
+  write_prep_cache_.valid = false;
+}
+
+void ChannelController::on_window_entry_removed(const std::deque<Entry>& q, PrepCache& cache) {
+  if (!cache.valid) return;
+  // Removing an entry may unblock a PRE whose open row only that (older)
+  // entry still wanted.
+  if (cache.has_conflict) {
+    cache.valid = false;
+    return;
+  }
+  if (q.size() < kSchedulerScanDepth) return;  // window membership unchanged
+  // One entry shifted into the scan window; only a non-hit adds a prep
+  // candidate the cached bound does not account for.
+  const Entry& e = q[kSchedulerScanDepth - 1];
+  const Bank& b = bank_at(e.addr);
+  if (!b.open || b.open_row != e.addr.row) cache.valid = false;
+}
+
 void ChannelController::retire(std::uint64_t c, Duration tick_period) {
-  for (auto it = inflight_.begin(); it != inflight_.end();) {
-    if (it->complete_cycle <= c) {
-      if (it->is_read) {
-        ++stats_.reads_completed;
-        stats_.read_latency_sum_ns +=
-            static_cast<double>(c - it->enqueue_cycle) * tick_period.ns();
-      } else {
-        ++stats_.writes_completed;
-      }
-      if (it->req.on_complete) {
-        const Duration t = tick_period * static_cast<double>(c);
-        it->req.on_complete(it->req, t);
-      }
-      it = inflight_.erase(it);
+  // In-flight transfers complete in FIFO order (see issue_cas), so retiring
+  // is a pop from the front rather than a full scan.
+  while (!inflight_.empty() && inflight_.front().complete_cycle <= c) {
+    InFlight& f = inflight_.front();
+    if (f.is_read) {
+      ++stats_.reads_completed;
+      stats_.read_latency_sum_ns += static_cast<double>(c - f.enqueue_cycle) * tick_period.ns();
     } else {
-      ++it;
+      ++stats_.writes_completed;
     }
+    if (f.req.on_complete) {
+      const Duration t = tick_period * static_cast<double>(c);
+      f.req.on_complete(f.req, t);
+    }
+    inflight_.pop_front();
   }
 }
 
@@ -373,6 +428,50 @@ void ChannelController::tick(std::uint64_t cycle, Duration tick_period) {
 
 bool ChannelController::idle() const {
   return read_q_.empty() && write_q_.empty() && inflight_.empty();
+}
+
+std::uint64_t ChannelController::sched_bound(const std::deque<Entry>& q, std::uint64_t c) const {
+  const std::size_t scan = std::min(q.size(), kSchedulerScanDepth);
+  std::uint64_t bound = kNeverCycle;
+  for (std::size_t i = 0; i < scan; ++i) {
+    const Entry& e = q[i];
+    const RankState& r = ranks_[static_cast<std::size_t>(e.addr.rank)];
+    if (r.refresh_pending) continue;  // wakes via the refresh bound instead
+    const Bank& b = bank_at(e.addr);
+    if (b.open && b.open_row == e.addr.row) {
+      bound = std::min(bound,
+                       earliest_cas_cycle(e.addr, e.req.type == Request::Type::kRead));
+    } else if (b.open) {
+      // PRE candidate. The older-wants-row ordering rule can only delay the
+      // real issue past this, which keeps the bound a valid lower bound.
+      bound = std::min(bound, b.next_pre);
+    } else {
+      bound = std::min(bound, earliest_act_cycle(e.addr));
+    }
+    if (bound <= c + 1) return bound;  // cannot get earlier than next cycle
+  }
+  return bound;
+}
+
+std::uint64_t ChannelController::next_event_cycle(std::uint64_t c) const {
+  std::uint64_t e = kNeverCycle;
+  if (!inflight_.empty()) e = std::min(e, inflight_.front().complete_cycle);
+  for (const RankState& r : ranks_) {
+    if (r.refresh_pending) {
+      // Quiescing: a PRE or the REF itself may issue as soon as next cycle.
+      e = std::min(e, c + 1);
+    } else if (r.queued_demand == 0) {
+      e = std::min(e, r.refresh_due);
+    } else {
+      // Demand postpones refresh up to the JEDEC window, then it is forced.
+      e = std::min(e, r.refresh_due +
+                          kMaxPostponedRefreshes * static_cast<std::uint64_t>(spec_.timing.nREFI));
+    }
+    if (e <= c + 1) return c + 1;
+  }
+  if (e > c + 1) e = std::min(e, sched_bound(read_q_, c));
+  if (e > c + 1) e = std::min(e, sched_bound(write_q_, c));
+  return std::max(e, c + 1);
 }
 
 }  // namespace monde::dram

@@ -29,11 +29,20 @@ class ChannelController {
   /// completed data transfers, handle refresh.
   void tick(std::uint64_t cycle, Duration tick_period);
 
+  /// Earliest cycle > `c` at which this channel's state can change: a data
+  /// transfer retires, a refresh becomes due (or quiesce progresses), or a
+  /// queued request's blocking timing constraint expires. This is an exact
+  /// lower bound: every cycle in (c, next_event_cycle(c)) is provably a
+  /// no-op tick, so DramSystem may fast-forward across them without changing
+  /// any observable behaviour.
+  [[nodiscard]] std::uint64_t next_event_cycle(std::uint64_t c) const;
+
   /// True when no requests are queued or in flight.
   [[nodiscard]] bool idle() const;
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t queue_depth() const { return read_q_.size() + write_q_.size(); }
+  [[nodiscard]] std::size_t inflight_count() const { return inflight_.size(); }
 
   /// Maximum queued requests per direction (reads and writes each).
   static constexpr std::size_t kQueueCapacity = 64;
@@ -76,8 +85,29 @@ class ChannelController {
     bool is_read = false;
   };
 
+  /// Memoized result of a failed prep scan (see schedule_queue): while the
+  /// scan window's membership and the bank/rank state are unchanged, the
+  /// scan provably keeps failing before `blocked_until`, so it can be
+  /// skipped. Thresholds only ever move later between invalidations, so a
+  /// stale bound wakes the scan early (harmless), never late.
+  struct PrepCache {
+    bool valid = false;
+    /// Window held a PRE candidate blocked only by an older row-hit; any
+    /// queue-front removal may unblock it, so removals invalidate.
+    bool has_conflict = false;
+    std::uint64_t blocked_until = 0;
+  };
+
   Bank& bank_at(const Address& a);
   [[nodiscard]] const Bank& bank_at(const Address& a) const;
+
+  // Earliest cycles at which a command could be issued under the timing
+  // constraints alone (bank-state preconditions aside). The can_* predicates
+  // and the event-bound computations (sched_bound, try_prep's blocked_until)
+  // share these so the fast path can never drift from the reference
+  // semantics when a timing rule changes.
+  [[nodiscard]] std::uint64_t earliest_act_cycle(const Address& a) const;
+  [[nodiscard]] std::uint64_t earliest_cas_cycle(const Address& a, bool is_read) const;
 
   // Timing predicates (at cycle `c`).
   [[nodiscard]] bool can_activate(const Address& a, std::uint64_t c) const;
@@ -98,6 +128,16 @@ class ChannelController {
 
   void retire(std::uint64_t c, Duration tick_period);
 
+  /// Earliest cycle any entry in `q`'s scan window could have a command
+  /// issued for it (CAS, PRE, or ACT), ignoring cross-entry ordering rules
+  /// (which only delay, never advance, the true issue cycle).
+  [[nodiscard]] std::uint64_t sched_bound(const std::deque<Entry>& q, std::uint64_t c) const;
+
+  [[nodiscard]] PrepCache& prep_cache_for(const std::deque<Entry>& q);
+  void invalidate_prep_caches();
+  /// Incremental prep-cache maintenance after erasing a scan-window entry.
+  void on_window_entry_removed(const std::deque<Entry>& q, PrepCache& cache);
+
   const Spec& spec_;
   const AddressMapper& mapper_;
   int channel_;
@@ -106,14 +146,24 @@ class ChannelController {
   std::vector<RankState> ranks_;
   std::deque<Entry> read_q_;
   std::deque<Entry> write_q_;
-  std::vector<InFlight> inflight_;
+  /// FIFO by completion: bus_free_ is monotone, so CAS data transfers
+  /// complete in issue order and retire pops from the front.
+  std::deque<InFlight> inflight_;
   std::uint64_t bus_free_ = 0;  ///< first cycle the data bus is free
   bool draining_writes_ = false;
+  PrepCache read_prep_cache_;
+  PrepCache write_prep_cache_;
   Stats stats_;
 
   static constexpr std::size_t kWriteDrainHigh = 48;
   static constexpr std::size_t kWriteDrainLow = 16;
   static constexpr std::size_t kSchedulerScanDepth = 32;
+  /// Buffered row hits at which a prep command is preferred over a CAS.
+  static constexpr std::size_t kPrepSlackHits = 4;
+  /// JEDEC tFAW: ACTs allowed per rank within any nFAW window.
+  static constexpr std::size_t kFawActivates = 4;
+  /// Sentinel for "no event until state changes".
+  static constexpr std::uint64_t kNeverCycle = ~std::uint64_t{0};
 };
 
 }  // namespace monde::dram

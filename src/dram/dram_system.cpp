@@ -1,8 +1,21 @@
 #include "dram/dram_system.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
 #include "common/error.hpp"
 
 namespace monde::dram {
+
+bool DramSystem::exhaustive_tick_env_default() {
+  static const bool on = [] {
+    const char* v = std::getenv("MONDE_EXHAUSTIVE_TICK");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return on;
+}
 
 DramSystem::DramSystem(Spec spec) : spec_{std::move(spec)}, mapper_{spec_} {
   spec_.validate();
@@ -31,13 +44,39 @@ void DramSystem::tick() {
   for (auto& ch : channels_) ch->tick(cycle_, period);
 }
 
-void DramSystem::run_until_idle() {
-  // Guard against runaway loops from scheduling bugs: no workload in this
-  // repository legitimately needs more than ~10 minutes of simulated time.
-  const std::uint64_t limit = cycle_ + 400'000'000ULL;
-  while (!idle()) {
+void DramSystem::advance_until(std::uint64_t limit_cycle) {
+  if (exhaustive_tick_) {
     tick();
-    MONDE_ASSERT(cycle_ < limit, "DRAM system failed to drain (scheduler livelock?)");
+    return;
+  }
+  std::uint64_t target = limit_cycle;
+  for (const auto& ch : channels_) target = std::min(target, ch->next_event_cycle(cycle_));
+  cycle_ = std::max(target, cycle_ + 1);
+  const Duration period = spec_.clock_period();
+  for (auto& ch : channels_) ch->tick(cycle_, period);
+}
+
+void DramSystem::run_until_idle() {
+  // Guard against runaway loops from scheduling bugs. The limit is phrased
+  // in simulated time (not raw cycles) so it stays meaningful across clock
+  // rates: no workload in this repository legitimately needs more than ~1 s
+  // of simulated DRAM time to drain.
+  const Duration max_drain = Duration::seconds(1.0);
+  const std::uint64_t limit =
+      cycle_ + static_cast<std::uint64_t>(max_drain / spec_.clock_period()) + 1;
+  while (!idle()) {
+    advance_until(limit);
+    if (cycle_ >= limit && !idle()) {
+      std::ostringstream os;
+      os << "DRAM system failed to drain within " << max_drain.str()
+         << " of simulated time (scheduler livelock?); stuck channels:";
+      for (std::size_t c = 0; c < channels_.size(); ++c) {
+        if (channels_[c]->idle()) continue;
+        os << " ch" << c << "{queued=" << channels_[c]->queue_depth()
+           << ", inflight=" << channels_[c]->inflight_count() << "}";
+      }
+      MONDE_ASSERT(false, os.str());
+    }
   }
 }
 

@@ -36,8 +36,35 @@ class DramSystem {
   /// Advance one controller cycle on every channel.
   void tick();
 
+  /// Event-driven step: fast-forward the clock to the next cycle at which
+  /// any channel's state can change (a transfer retires, a timing constraint
+  /// expires, a refresh becomes due) and tick once there. All skipped cycles
+  /// are provably no-op ticks, so the result is cycle-exact with calling
+  /// tick() in a loop. Callers pass `limit_cycle` when external state
+  /// changes at a known future cycle (e.g. the NDP core releasing a
+  /// writeback batch): the jump is capped at `limit_cycle` -- except that
+  /// every call advances at least one cycle, so a `limit_cycle` at or below
+  /// the current cycle still ticks cycle()+1 (progress guarantee; guard in
+  /// the caller if the limit must be hard). With exhaustive-tick mode on,
+  /// this degrades to a single tick().
+  void advance_until(std::uint64_t limit_cycle);
+
+  /// advance_until with no external bound.
+  void advance() { advance_until(~std::uint64_t{0}); }
+
   /// Tick until all queues and in-flight transfers drain.
   void run_until_idle();
+
+  /// Opt-in per-cycle simulation mode: every cycle is ticked individually
+  /// instead of fast-forwarding between events. Orders of magnitude slower;
+  /// exists as the reference for differential tests. Defaults to the
+  /// MONDE_EXHAUSTIVE_TICK environment variable (set and non-"0" = on).
+  void set_exhaustive_tick(bool on) { exhaustive_tick_ = on; }
+  [[nodiscard]] bool exhaustive_tick() const { return exhaustive_tick_; }
+
+  /// Process-wide default for exhaustive-tick mode (reads the environment
+  /// once).
+  [[nodiscard]] static bool exhaustive_tick_env_default();
 
   /// Current simulated time (cycles * clock period).
   [[nodiscard]] Duration now() const;
@@ -59,6 +86,7 @@ class DramSystem {
   AddressMapper mapper_;
   std::vector<std::unique_ptr<ChannelController>> channels_;
   std::uint64_t cycle_ = 0;
+  bool exhaustive_tick_ = exhaustive_tick_env_default();
 };
 
 }  // namespace monde::dram

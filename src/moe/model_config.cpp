@@ -82,7 +82,12 @@ MoeModelConfig MoeModelConfig::nllb_dense_3_3b() {
 
 MoeModelConfig MoeModelConfig::switch_variant(std::int64_t dmodel_, std::int64_t experts) {
   MoeModelConfig c = switch_large_128();
-  c.name = "d" + std::to_string(dmodel_) + "-E" + std::to_string(experts);
+  // Built with append rather than operator+ to sidestep a GCC 12 -Wrestrict
+  // false positive on rvalue-string concatenation at -O3.
+  c.name = "d";
+  c.name += std::to_string(dmodel_);
+  c.name += "-E";
+  c.name += std::to_string(experts);
   c.dmodel = dmodel_;
   c.dff = 4 * dmodel_;
   c.num_experts = experts;

@@ -1,6 +1,7 @@
 #include "ndp/ndp_core.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 #include "common/error.hpp"
@@ -80,6 +81,21 @@ std::vector<NdpCoreSim::Chunk> NdpCoreSim::build_chunks(const compute::GemmShape
 
 NdpKernelResult NdpCoreSim::run_pipeline(const std::vector<std::vector<Chunk>>& kernels) const {
   dram::DramSystem dramsys{mem_};
+  dramsys.set_exhaustive_tick(exhaustive_tick);
+  constexpr std::uint64_t kNoLimit = ~std::uint64_t{0};
+  const Duration period = mem_.clock_period();
+  // Smallest cycle k with k * period >= t: the first cycle at which the
+  // per-cycle reference loop would observe `now >= t`. The float estimate is
+  // corrected with the exact Duration comparison so fast-forwarding wakes at
+  // precisely the cycle the exhaustive loop would act on.
+  auto cycle_for_time = [&](Duration t) -> std::uint64_t {
+    if (t >= Duration::infinite()) return kNoLimit;
+    if (t <= Duration::zero()) return 0;
+    auto k = static_cast<std::uint64_t>(std::max(0.0, std::floor(t.ns() / period.ns())));
+    while (period * static_cast<double>(k) < t) ++k;
+    while (k > 0 && period * static_cast<double>(k - 1) >= t) --k;
+    return k;
+  };
   const PartitionLayout weights{mem_, dramsys.mapper(), Partition::kWeights};
   // With partitioning disabled (ablation), activations share the weight
   // banks and contend for the same row buffers.
@@ -147,8 +163,29 @@ NdpKernelResult NdpCoreSim::run_pipeline(const std::vector<std::vector<Chunk>>& 
     std::size_t consumed_ptr = 0;  // chunks whose compute has finished by now()
 
     Duration compute_free = t0;
+    bool chunk_completed = false;  // some chunk's last load retired
 
     auto all_loads_done = [&](std::size_t idx) { return loads_remaining[idx] == 0; };
+
+    // Inject queued loads, oldest first, until channel admission blocks.
+    auto pump_loads = [&] {
+      while (!inject.empty() && dramsys.can_accept(inject.front().addr)) {
+        const PendingReq& pr = inject.front();
+        dram::Request req;
+        req.addr = pr.addr;
+        req.type = dram::Request::Type::kRead;
+        const std::size_t chunk_idx = pr.chunk;
+        req.on_complete = [&, chunk_idx](const dram::Request&, Duration t) {
+          MONDE_ASSERT(loads_remaining[chunk_idx] > 0, "duplicate load completion");
+          if (--loads_remaining[chunk_idx] == 0) {
+            load_done[chunk_idx] = max(t, t0);
+            chunk_completed = true;
+          }
+        };
+        dramsys.enqueue(std::move(req));
+        inject.pop_front();
+      }
+    };
 
     while (computed < total || !dramsys.idle() || !deferred_stores.empty() || !inject.empty()) {
       const Duration now = max(dramsys.now(), t0);
@@ -166,23 +203,7 @@ NdpKernelResult NdpCoreSim::run_pipeline(const std::vector<std::vector<Chunk>>& 
       }
 
       // Inject loads subject to channel admission.
-      std::size_t stall_guard = inject.size();
-      while (!inject.empty() && stall_guard-- > 0) {
-        const PendingReq& pr = inject.front();
-        if (!dramsys.can_accept(pr.addr)) break;
-        dram::Request req;
-        req.addr = pr.addr;
-        req.type = dram::Request::Type::kRead;
-        const std::size_t chunk_idx = pr.chunk;
-        req.on_complete = [&, chunk_idx](const dram::Request&, Duration t) {
-          MONDE_ASSERT(loads_remaining[chunk_idx] > 0, "duplicate load completion");
-          if (--loads_remaining[chunk_idx] == 0) {
-            load_done[chunk_idx] = max(t, t0);
-          }
-        };
-        dramsys.enqueue(std::move(req));
-        inject.pop_front();
-      }
+      pump_loads();
 
       // Inject stores whose pass has computed.
       while (!deferred_stores.empty()) {
@@ -216,7 +237,41 @@ NdpKernelResult NdpCoreSim::run_pipeline(const std::vector<std::vector<Chunk>>& 
       if (computed >= total && dramsys.idle() && deferred_stores.empty() && inject.empty()) {
         break;
       }
-      dramsys.tick();
+
+      // External gates: cycles at which this loop's *time-based* conditions
+      // (writeback release, prefetch-window opening) first change. DRAM-state
+      // conditions (admission, load completion) change only at controller
+      // events, which advance_until never skips. A gate that is already due
+      // -- e.g. the compute scheduling above just assigned a start time in
+      // the past -- re-runs this bookkeeping at the very next cycle, exactly
+      // when the per-cycle reference loop would act on it.
+      std::uint64_t limit = kNoLimit;
+      if (!deferred_stores.empty()) {
+        const Duration release = store_release[deferred_stores.front().chunk];
+        limit = std::min(limit, std::max(dramsys.cycle() + 1, cycle_for_time(release)));
+      }
+      if (consumed_ptr < computed) {
+        limit = std::min(limit, std::max(dramsys.cycle() + 1,
+                                         cycle_for_time(compute_start[consumed_ptr])));
+      }
+      dramsys.advance_until(limit);
+
+      // Steady-state batch drain: while every remaining interaction is load
+      // injection and in-flight completion -- no writeback is releasable
+      // before `limit` and the prefetch window cannot move until a chunk's
+      // loads finish -- the per-chunk bookkeeping above is provably inert.
+      // Drain the homogeneous batch here in a tight loop instead of paying
+      // it per event, returning the moment a chunk completes or a gate hits.
+      const bool stores_gated =
+          deferred_stores.empty() || store_release[deferred_stores.front().chunk] > now;
+      if (stores_gated && !exhaustive_tick) {
+        while (!chunk_completed && dramsys.cycle() < limit) {
+          pump_loads();
+          if (dramsys.idle() && inject.empty()) break;
+          dramsys.advance_until(limit);
+        }
+      }
+      chunk_completed = false;
     }
 
     const Duration kernel_done = max(compute_free, last_store_done);
@@ -237,9 +292,8 @@ NdpKernelResult NdpCoreSim::run_pipeline(const std::vector<std::vector<Chunk>>& 
 
 NdpKernelResult NdpCoreSim::simulate_gemm(const compute::GemmShape& shape,
                                           compute::DataType dt) {
-  // The memo key folds in the bank-partitioning ablation flag.
-  const Key key{shape.m, shape.n, shape.k,
-                static_cast<int>(dt) * 2 + (bank_partitioning ? 1 : 0)};
+  // The memo key folds in the ablation / simulation-mode flags.
+  const Key key{shape.m, shape.n, shape.k, memo_flags(dt)};
   if (const auto it = gemm_memo_.find(key); it != gemm_memo_.end()) {
     ++memo_hits_;
     return it->second;
@@ -285,8 +339,7 @@ NdpKernelResult NdpCoreSim::compute_bound_estimate(const compute::ExpertShape& e
 NdpKernelResult NdpCoreSim::simulate_expert(const compute::ExpertShape& expert,
                                             compute::DataType dt) {
   MONDE_REQUIRE(expert.tokens > 0, "expert simulation needs at least one token");
-  const Key key{expert.tokens, expert.dmodel, expert.dff,
-                static_cast<int>(dt) * 2 + (bank_partitioning ? 1 : 0)};
+  const Key key{expert.tokens, expert.dmodel, expert.dff, memo_flags(dt)};
   if (const auto it = expert_memo_.find(key); it != expert_memo_.end()) {
     ++memo_hits_;
     return it->second;

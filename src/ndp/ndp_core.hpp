@@ -18,6 +18,18 @@
 // output tiles are written back when their pass finishes. Kernel latency is
 // "instruction decode -> done register raised" (all outputs committed).
 //
+// The simulation is event-driven: the DRAM system fast-forwards its clock to
+// the next cycle at which any controller state can change, and while all
+// banks are in steady-state streaming the pipeline drains whole homogeneous
+// chunk batches in one pass -- injecting loads and advancing between events
+// without re-running the per-chunk bookkeeping -- returning to it only when
+// a chunk's loads complete or an externally timed gate (writeback release,
+// prefetch-window opening) arrives. Both shortcuts are cycle-exact: skipped
+// cycles are provably no-op ticks, and the batch drain runs only while the
+// skipped bookkeeping is provably inert. The per-cycle reference mode
+// remains available via MONDE_EXHAUSTIVE_TICK (or `exhaustive_tick`); a
+// differential test in tests/test_fastpath_diff.cpp pins the equivalence.
+//
 // Hot experts with many routed tokens are compute-bound (arithmetic
 // intensity grows with the token count); above `cycle_sim_token_limit`
 // tokens the simulator switches to a closed-form compute-bound model, which
@@ -85,6 +97,11 @@ class NdpCoreSim {
   /// bench/ablation_bank_partition.
   bool bank_partitioning = true;
 
+  /// Opt-in per-cycle reference mode for the DRAM model (see
+  /// DramSystem::set_exhaustive_tick). Folded into the memo key so fast and
+  /// exhaustive results never alias in differential tests.
+  bool exhaustive_tick = dram::DramSystem::exhaustive_tick_env_default();
+
   [[nodiscard]] std::uint64_t memo_hits() const { return memo_hits_; }
   [[nodiscard]] std::uint64_t memo_misses() const { return memo_misses_; }
 
@@ -108,6 +125,11 @@ class NdpCoreSim {
                                          compute::DataType dt) const;
 
   using Key = std::tuple<std::int64_t, std::int64_t, std::int64_t, int>;
+
+  /// Memo-key flag word: datatype plus the knobs that change results.
+  [[nodiscard]] int memo_flags(compute::DataType dt) const {
+    return static_cast<int>(dt) * 4 + (bank_partitioning ? 2 : 0) + (exhaustive_tick ? 1 : 0);
+  }
 
   NdpSpec ndp_;
   dram::Spec mem_;

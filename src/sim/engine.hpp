@@ -1,9 +1,10 @@
 // Discrete-event simulation kernel.
 //
 // A minimal, deterministic DES engine: events are (time, sequence) ordered,
-// so simultaneous events fire in scheduling order. Cycle-driven components
-// (the DRAM controller) advance via their own tick loops and use the engine
-// only when coupled with event-driven models.
+// so simultaneous events fire in scheduling order. The DRAM subsystem keeps
+// its own event-driven clock (DramSystem::advance_until fast-forwards
+// between controller events) and uses this engine only when coupled with
+// other event-driven models; see sim::Timeline for the recording side.
 #pragma once
 
 #include <cstdint>

@@ -18,6 +18,20 @@ moe::MoeModelConfig shallow(moe::MoeModelConfig m) {
   return m;
 }
 
+/// All Trends tests drive the same DAC'24 MoNDE device, so they share one
+/// NdpCoreSim: expert shapes already simulated by an earlier test resolve
+/// from the memo instead of re-running the cycle-level simulation cold.
+class Trends : public ::testing::Test {
+ protected:
+  static std::shared_ptr<ndp::NdpCoreSim> shared_sim() {
+    static const std::shared_ptr<ndp::NdpCoreSim> sim = [] {
+      const SystemConfig sys = SystemConfig::dac24();
+      return std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+    }();
+    return sim;
+  }
+};
+
 double encoder_speedup_lb_over_pm(const moe::MoeModelConfig& model,
                                   const moe::SkewProfile& prof, std::int64_t batch,
                                   std::shared_ptr<ndp::NdpCoreSim> sim) {
@@ -29,11 +43,11 @@ double encoder_speedup_lb_over_pm(const moe::MoeModelConfig& model,
   return t_pm / t_lb;
 }
 
-TEST(Trends, Figure6MondeWinsAndOrderingHolds) {
+TEST_F(Trends, Figure6MondeWinsAndOrderingHolds) {
   // GPU+PM < MD+AM < MD+LB <= Ideal throughput for the encoder.
   const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
   const SystemConfig sys = SystemConfig::dac24();
-  auto sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+  auto sim = shared_sim();
   double tput[4];
   const StrategyKind kinds[] = {StrategyKind::kGpuPmove, StrategyKind::kMondeAmove,
                                 StrategyKind::kMondeLoadBalanced, StrategyKind::kIdealGpu};
@@ -48,10 +62,10 @@ TEST(Trends, Figure6MondeWinsAndOrderingHolds) {
   EXPECT_GT(tput[2] / tput[0], 3.0);
 }
 
-TEST(Trends, Figure6DecoderGainsSmallerThanEncoder) {
+TEST_F(Trends, Figure6DecoderGainsSmallerThanEncoder) {
   const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
   const SystemConfig sys = SystemConfig::dac24();
-  auto sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+  auto sim = shared_sim();
   InferenceEngine pm{sys, model, moe::SkewProfile::nllb_like(), StrategyKind::kGpuPmove, 42,
                      sim};
   InferenceEngine lb{sys, model, moe::SkewProfile::nllb_like(),
@@ -64,14 +78,14 @@ TEST(Trends, Figure6DecoderGainsSmallerThanEncoder) {
   EXPECT_GT(dec, 1.0);  // MoNDE still wins on the decoder
 }
 
-TEST(Trends, Figure7aSpeedupGrowsWithModelScale) {
+TEST_F(Trends, Figure7aSpeedupGrowsWithModelScale) {
   // MD+LB speedup over GPU+PM rises from d768-E64 to d768-E128 to d1024-E128.
   const moe::SkewProfile prof = moe::SkewProfile::switch_like();
   const auto v1 = shallow(moe::MoeModelConfig::switch_variant(768, 64));
   const auto v2 = shallow(moe::MoeModelConfig::switch_variant(768, 128));
   const auto v3 = shallow(moe::MoeModelConfig::switch_variant(1024, 128));
   const SystemConfig sys = SystemConfig::dac24();
-  auto sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+  auto sim = shared_sim();
   const double s1 = encoder_speedup_lb_over_pm(v1, prof, 1, sim);
   const double s2 = encoder_speedup_lb_over_pm(v2, prof, 1, sim);
   const double s3 = encoder_speedup_lb_over_pm(v3, prof, 1, sim);
@@ -81,7 +95,7 @@ TEST(Trends, Figure7aSpeedupGrowsWithModelScale) {
   EXPECT_GT(s3, s1);         // end-to-end trend must strictly hold
 }
 
-TEST(Trends, Figure7bBandwidthScalingHelpsAmove) {
+TEST_F(Trends, Figure7bBandwidthScalingHelpsAmove) {
   // 0.5x / 1x / 2x MoNDE bandwidth with rate-matched compute: MD+AM MoE
   // latency must fall monotonically.
   const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
@@ -97,11 +111,11 @@ TEST(Trends, Figure7bBandwidthScalingHelpsAmove) {
   EXPECT_GT(moe_time[1], moe_time[2]);
 }
 
-TEST(Trends, Figure8CpuSlowerThanNdp) {
+TEST_F(Trends, Figure8CpuSlowerThanNdp) {
   // CPU+AM pays lower memory bandwidth and weaker GEMM throughput.
   const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
   const SystemConfig sys = SystemConfig::dac24();
-  auto sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+  auto sim = shared_sim();
   InferenceEngine cpu{sys, model, moe::SkewProfile::nllb_like(), StrategyKind::kCpuAmove,
                       42, sim};
   InferenceEngine md{sys, model, moe::SkewProfile::nllb_like(), StrategyKind::kMondeAmove,
@@ -111,7 +125,7 @@ TEST(Trends, Figure8CpuSlowerThanNdp) {
   EXPECT_GT(cpu_moe / md_moe, 2.0);  // paper: 9.1x for the encoder
 }
 
-TEST(Trends, Figure9MultiMondeScalesEncoder) {
+TEST_F(Trends, Figure9MultiMondeScalesEncoder) {
   const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
   double moe_time[3];
   const int devices[] = {1, 2, 4};
@@ -128,12 +142,12 @@ TEST(Trends, Figure9MultiMondeScalesEncoder) {
   EXPECT_GT(moe_time[0] / moe_time[2], 1.15);
 }
 
-TEST(Trends, Figure10TwoGpuEncoderWinsDecoderComparable) {
+TEST_F(Trends, Figure10TwoGpuEncoderWinsDecoderComparable) {
   const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
   SystemConfig sys2 = SystemConfig::dac24();
   sys2.num_gpus = 2;
   const SystemConfig sys1 = SystemConfig::dac24();
-  auto sim = std::make_shared<ndp::NdpCoreSim>(sys1.ndp, sys1.monde_mem);
+  auto sim = shared_sim();
   InferenceEngine lb{sys1, model, moe::SkewProfile::nllb_like(),
                      StrategyKind::kMondeLoadBalanced, 42, sim};
   InferenceEngine two{sys2, model, moe::SkewProfile::nllb_like(), StrategyKind::kMultiGpu,
@@ -148,7 +162,7 @@ TEST(Trends, Figure10TwoGpuEncoderWinsDecoderComparable) {
   EXPECT_LT(r, 2.0);
 }
 
-TEST(Trends, LoadBalancerTracksBandwidthInEquation6) {
+TEST_F(Trends, LoadBalancerTracksBandwidthInEquation6) {
   // Higher MoNDE bandwidth -> lower, more conservative H (paper Section 4.2).
   const auto model = shallow(moe::MoeModelConfig::nllb_moe_128());
   moe::WorkloadGenerator gen{model, moe::SkewProfile::nllb_like(), 42};

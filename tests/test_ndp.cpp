@@ -158,6 +158,25 @@ TEST(NdpCoreSim, MemoizationReturnsIdenticalResults) {
   EXPECT_EQ(first.read_blocks, second.read_blocks);
 }
 
+TEST(NdpCoreSim, MemoStatisticsCountPerFlagConfiguration) {
+  // The memo accessors report cache effectiveness; the key must separate
+  // the bank-partitioning ablation arms so results never alias.
+  NdpCoreSim sim{NdpSpec::monde_dac24(), test_mem()};
+  EXPECT_EQ(sim.memo_hits(), 0u);
+  EXPECT_EQ(sim.memo_misses(), 0u);
+  const compute::ExpertShape e{2, 1024, 4096};
+  (void)sim.simulate_expert(e, compute::DataType::kBf16);
+  EXPECT_EQ(sim.memo_misses(), 1u);
+  sim.bank_partitioning = false;
+  (void)sim.simulate_expert(e, compute::DataType::kBf16);
+  EXPECT_EQ(sim.memo_misses(), 2u);
+  EXPECT_EQ(sim.memo_hits(), 0u);
+  sim.bank_partitioning = true;
+  (void)sim.simulate_expert(e, compute::DataType::kBf16);
+  EXPECT_EQ(sim.memo_hits(), 1u);
+  EXPECT_EQ(sim.memo_misses(), 2u);
+}
+
 TEST(NdpCoreSim, LatencyMonotoneInTokens) {
   NdpCoreSim sim{NdpSpec::monde_dac24(), test_mem()};
   Duration prev = Duration::zero();
