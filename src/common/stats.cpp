@@ -71,6 +71,33 @@ Histogram make_token_histogram() {
   return Histogram{{0.0, 3.0, 7.0, 15.0, 31.0, 63.0, 127.0}};
 }
 
+namespace {
+
+/// Percentile of an already-sorted sample (linear interpolation, R-7).
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> values, double q) {
+  MONDE_REQUIRE(!values.empty(), "percentile of empty set");
+  MONDE_REQUIRE(q >= 0.0 && q <= 100.0, "percentile q must be in [0, 100], got " << q);
+  std::sort(values.begin(), values.end());
+  return sorted_percentile(values, q);
+}
+
+Percentiles compute_percentiles(std::vector<double> values) {
+  MONDE_REQUIRE(!values.empty(), "percentiles of empty set");
+  std::sort(values.begin(), values.end());
+  return {sorted_percentile(values, 50.0), sorted_percentile(values, 95.0),
+          sorted_percentile(values, 99.0)};
+}
+
 double geomean(const std::vector<double>& values) {
   MONDE_REQUIRE(!values.empty(), "geomean of empty set");
   double log_sum = 0.0;

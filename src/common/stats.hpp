@@ -66,4 +66,19 @@ class Histogram {
 /// Geometric mean of a set of strictly positive values.
 [[nodiscard]] double geomean(const std::vector<double>& values);
 
+/// The q-th percentile (q in [0, 100]) of a non-empty sample, using linear
+/// interpolation between closest ranks (the common "R-7" / NumPy default).
+/// Takes the sample by value: callers keep their ordering.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// The latency summary trio every serving report carries.
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// p50/p95/p99 of a non-empty sample (one sort, three lookups).
+[[nodiscard]] Percentiles compute_percentiles(std::vector<double> values);
+
 }  // namespace monde

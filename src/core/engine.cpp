@@ -1,5 +1,8 @@
 #include "core/engine.hpp"
 
+#include <map>
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace monde::core {
@@ -43,92 +46,154 @@ StrategyContext InferenceEngine::make_context() {
   return ctx;
 }
 
-RunReport InferenceEngine::run_encoder(std::int64_t batch, std::int64_t seq_len) {
-  MONDE_REQUIRE(batch > 0 && seq_len > 0, "encoder run needs tokens");
-  sim::StreamSchedule sched;
-  const HwStreams hw = HwStreams::create(sched, sys_);
+EngineState InferenceEngine::make_state() const {
+  EngineState st;
+  st.hw = HwStreams::create(st.sched, sys_);
+  return st;
+}
+
+StepResult InferenceEngine::prefill(EngineState& st, std::int64_t batch,
+                                    std::int64_t seq_len) {
+  MONDE_REQUIRE(batch > 0 && seq_len > 0, "prefill needs tokens");
   moe::EncoderPass pass = workload_.encoder_pass(batch, seq_len);
 
-  RunReport report;
-  report.strategy = strategy_->name();
-  report.phase = "encoder";
-  report.tokens = static_cast<std::uint64_t>(batch * seq_len);
+  StepResult res;
+  res.start = st.now;
+  res.tokens = static_cast<std::uint64_t>(batch * seq_len);
 
-  Duration t = Duration::zero();
+  Duration t = st.now;
   std::size_t moe_idx = 0;
   for (int block = 0; block < model_.encoder_blocks; ++block) {
     const bool is_moe = model_.is_moe_block(block);
     const auto cost =
         xformer_.encoder_block(batch, seq_len, model_.dmodel, model_.dff, !is_moe);
     const Duration block_time = cost.total() + sys_.framework_block_overhead;
-    const auto iv = sched.place(hw.gpu, t, block_time,
-                                "enc block " + std::to_string(block), "block");
-    report.non_moe += block_time;
+    const auto iv = st.sched.place(st.hw.gpu, t, block_time,
+                                   "enc block " + std::to_string(block), "block");
+    st.non_moe += block_time;
     t = iv.end;
     if (is_moe) {
       MONDE_ASSERT(moe_idx < pass.moe_layers.size(), "MoE layer/work mismatch");
-      const MoeLayerResult res = strategy_->run_layer(pass.moe_layers[moe_idx], sched, hw, t);
-      report.moe += res.latency();
-      report.layers.push_back(res);
-      t = res.end;
+      const MoeLayerResult lr =
+          strategy_->run_layer(pass.moe_layers[moe_idx], st.sched, st.hw, t);
+      st.moe += lr.latency();
+      st.layers.push_back(lr);
+      t = lr.end;
       ++moe_idx;
     }
   }
   MONDE_ASSERT(moe_idx == pass.moe_layers.size(), "unused MoE layer work");
-  report.total = t;
-  report.timeline = sched.timeline();
-  report.stream_names = sched.stream_names();
+  st.now = t;
+  st.tokens += res.tokens;
+  res.end = t;
+  return res;
+}
+
+StepResult InferenceEngine::decode_step(EngineState& st, const std::vector<DecodeSlot>& slots,
+                                        const std::vector<moe::MoeLayerWork>& works) {
+  MONDE_REQUIRE(!slots.empty(), "decode step needs at least one active request");
+  MONDE_REQUIRE(works.size() == static_cast<std::size_t>(model_.decoder_moe_layers()),
+                "decode step needs one routed work per decoder MoE layer: got "
+                    << works.size() << ", want " << model_.decoder_moe_layers());
+  const std::int64_t batch = static_cast<std::int64_t>(slots.size());
+
+  // Attention cost depends on each request's KV depth and encoder context;
+  // group slots by (past_len, cross_len) so a uniform batch prices as one
+  // batched block while a mixed continuous batch sums its depth groups.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> depth_groups;
+  for (const DecodeSlot& slot : slots) {
+    MONDE_REQUIRE(slot.step >= 0, "decode slot depth must be >= 0, got " << slot.step);
+    ++depth_groups[{slot.step + 1, slot.cross_len}];
+  }
+
+  StepResult res;
+  res.start = st.now;
+  res.tokens = static_cast<std::uint64_t>(batch);
+  const std::string step_tag = "dec s" + std::to_string(st.decode_steps);
+
+  Duration t = st.now;
+  std::size_t moe_idx = 0;
+  for (int block = 0; block < model_.decoder_blocks; ++block) {
+    const bool is_moe = model_.is_moe_block(block);
+    Duration block_time = sys_.framework_block_overhead;
+    for (const auto& [depth, count] : depth_groups) {
+      block_time += xformer_
+                        .decoder_block(count, depth.first, depth.second, model_.dmodel,
+                                       model_.dff, !is_moe)
+                        .total();
+    }
+    const auto iv = st.sched.place(st.hw.gpu, t, block_time,
+                                   step_tag + " block " + std::to_string(block), "block");
+    st.non_moe += block_time;
+    t = iv.end;
+    if (is_moe) {
+      const MoeLayerResult lr = strategy_->run_layer(works[moe_idx], st.sched, st.hw, t);
+      st.moe += lr.latency();
+      st.layers.push_back(lr);
+      t = lr.end;
+      ++moe_idx;
+    }
+  }
+  // LM head projection over the vocabulary plus host-side step overhead
+  // (sampling, KV-cache bookkeeping).
+  const Duration lm = gpu_.gemm_time({batch, model_.vocab_size, model_.dmodel}, model_.dtype);
+  const auto head = st.sched.place(st.hw.gpu, t, lm + sys_.framework_step_overhead,
+                                   "lm head " + step_tag, "block");
+  st.non_moe += lm + sys_.framework_step_overhead;
+  st.now = head.end;
+  st.tokens += res.tokens;
+  ++st.decode_steps;
+  res.end = head.end;
+  return res;
+}
+
+StepResult InferenceEngine::decode_step(EngineState& st, const std::vector<DecodeSlot>& slots) {
+  MONDE_REQUIRE(!slots.empty(), "decode step needs at least one active request");
+  std::vector<std::vector<moe::MoeLayerWork>> draws;
+  draws.reserve(slots.size());
+  for (const DecodeSlot& slot : slots) {
+    draws.push_back(workload_.decoder_step_for(slot.request_id, slot.step));
+  }
+  return decode_step(st, slots, moe::WorkloadGenerator::merge_layer_works(draws));
+}
+
+RunReport InferenceEngine::finish(EngineState&& st, std::string phase) const {
+  RunReport report;
+  report.strategy = strategy_->name();
+  report.phase = std::move(phase);
+  report.total = st.now;
+  report.non_moe = st.non_moe;
+  report.moe = st.moe;
+  report.tokens = st.tokens;
+  report.layers = std::move(st.layers);
+  report.timeline = std::move(st.sched.timeline());
+  report.stream_names = st.sched.stream_names();
   return report;
+}
+
+RunReport InferenceEngine::run_encoder(std::int64_t batch, std::int64_t seq_len) {
+  MONDE_REQUIRE(batch > 0 && seq_len > 0, "encoder run needs tokens");
+  EngineState st = make_state();
+  prefill(st, batch, seq_len);
+  return finish(std::move(st), "encoder");
 }
 
 RunReport InferenceEngine::run_decoder(std::int64_t batch, std::int64_t steps,
                                        std::int64_t cross_len) {
   MONDE_REQUIRE(batch > 0 && steps > 0, "decoder run needs tokens");
-  sim::StreamSchedule sched;
-  const HwStreams hw = HwStreams::create(sched, sys_);
+  EngineState st = make_state();
   const auto step_works = workload_.decoder_steps(batch, steps);
 
-  RunReport report;
-  report.strategy = strategy_->name();
-  report.phase = "decoder";
-  report.tokens = static_cast<std::uint64_t>(batch * steps);
-
-  Duration t = Duration::zero();
-  for (std::int64_t s = 0; s < steps; ++s) {
-    std::size_t moe_idx = 0;
-    for (int block = 0; block < model_.decoder_blocks; ++block) {
-      const bool is_moe = model_.is_moe_block(block);
-      const auto cost = xformer_.decoder_block(batch, s + 1, cross_len, model_.dmodel,
-                                               model_.dff, !is_moe);
-      const Duration block_time = cost.total() + sys_.framework_block_overhead;
-      const auto iv = sched.place(
-          hw.gpu, t, block_time,
-          "dec s" + std::to_string(s) + " block " + std::to_string(block), "block");
-      report.non_moe += block_time;
-      t = iv.end;
-      if (is_moe) {
-        const MoeLayerResult res =
-            strategy_->run_layer(step_works[static_cast<std::size_t>(s)].moe_layers[moe_idx],
-                                 sched, hw, t);
-        report.moe += res.latency();
-        report.layers.push_back(res);
-        t = res.end;
-        ++moe_idx;
-      }
-    }
-    // LM head projection over the vocabulary plus host-side step overhead
-    // (sampling, KV-cache bookkeeping).
-    const Duration lm =
-        gpu_.gemm_time({batch, model_.vocab_size, model_.dmodel}, model_.dtype);
-    const auto head = sched.place(hw.gpu, t, lm + sys_.framework_step_overhead,
-                                  "lm head s" + std::to_string(s), "block");
-    report.non_moe += lm + sys_.framework_step_overhead;
-    t = head.end;
+  std::vector<DecodeSlot> slots(static_cast<std::size_t>(batch));
+  for (std::size_t b = 0; b < slots.size(); ++b) {
+    slots[b].request_id = b;
+    slots[b].cross_len = cross_len;
   }
-  report.total = t;
-  report.timeline = sched.timeline();
-  report.stream_names = sched.stream_names();
-  return report;
+  for (std::int64_t s = 0; s < steps; ++s) {
+    for (DecodeSlot& slot : slots) slot.step = s;
+    decode_step(st, slots, step_works[static_cast<std::size_t>(s)].moe_layers);
+  }
+  return finish(std::move(st), "decoder");
 }
 
 }  // namespace monde::core

@@ -1,9 +1,13 @@
 // End-to-end MoE transformer inference engine.
 //
 // Assembles the platform (GPU/CPU models, MoNDE devices, links), generates
-// routed workloads, and simulates full encoder passes and autoregressive
-// decoder runs under a chosen expert-execution strategy. Produces latency /
-// throughput reports plus the full hardware-stream timeline (Figure 5).
+// routed workloads, and simulates inference under a chosen expert-execution
+// strategy. Execution is built from two step primitives -- prefill() (one
+// encoder pass) and decode_step() (one autoregressive step over a batch of
+// requests at arbitrary decode depths) -- threaded through an explicit
+// EngineState. The classic run_encoder / run_decoder entry points are thin
+// wrappers over the primitives; the serving layer (src/serve) drives the
+// primitives directly to interleave requests (continuous batching).
 #pragma once
 
 #include <memory>
@@ -37,12 +41,73 @@ struct RunReport {
   }
 };
 
+/// Explicit, resumable execution state threaded through the step primitives.
+/// One state owns one shared hardware schedule; every prefill()/decode_step()
+/// call appends to it and advances the `now` cursor. A state outlives many
+/// steps, which is what lets requests at different decode depths share a
+/// schedule (continuous batching).
+struct EngineState {
+  sim::StreamSchedule sched;
+  HwStreams hw;
+  Duration now = Duration::zero();      ///< GPU-stream cursor: end of last step
+  Duration non_moe = Duration::zero();  ///< accumulated non-expert time
+  Duration moe = Duration::zero();      ///< accumulated MoE layer time
+  std::uint64_t tokens = 0;             ///< tokens processed/produced so far
+  std::int64_t decode_steps = 0;        ///< decode_step() calls so far (labels)
+  std::vector<MoeLayerResult> layers;   ///< every scheduled MoE layer, in order
+};
+
+/// One request's view of a decode step: its identity, decode depth, and the
+/// encoder context it cross-attends over. Requests in the same step may sit
+/// at different depths.
+struct DecodeSlot {
+  std::uint64_t request_id = 0;
+  std::int64_t step = 0;       ///< 0-based decode depth: tokens already generated
+  std::int64_t cross_len = 0;  ///< encoder positions for cross-attention
+};
+
+/// Span of one step primitive on the shared schedule.
+struct StepResult {
+  Duration start = Duration::zero();
+  Duration end = Duration::zero();
+  std::uint64_t tokens = 0;  ///< tokens this step processed (prefill) or produced (decode)
+
+  [[nodiscard]] Duration latency() const { return end - start; }
+};
+
 /// Owns the simulated platform and runs inference under one strategy.
 class InferenceEngine {
  public:
   InferenceEngine(SystemConfig sys, moe::MoeModelConfig model, moe::SkewProfile profile,
                   StrategyKind kind, std::uint64_t seed = 42,
                   std::shared_ptr<ndp::NdpCoreSim> shared_sim = nullptr);
+
+  // --- Step primitives -----------------------------------------------------
+
+  /// A fresh state with this platform's hardware streams registered.
+  [[nodiscard]] EngineState make_state() const;
+
+  /// One encoder pass (prefill) over `batch` sequences of `seq_len` tokens,
+  /// starting no earlier than `st.now`. Routing is drawn from the workload
+  /// generator's encoder stream.
+  StepResult prefill(EngineState& st, std::int64_t batch, std::int64_t seq_len);
+
+  /// One autoregressive decoder step over `slots` (one new token per slot),
+  /// executing `works` -- one routed MoeLayerWork per decoder MoE layer,
+  /// typically the per-request draws merged across the batch. Slots may sit
+  /// at different decode depths; attention is priced per depth group while
+  /// dense GEMMs and the LM head batch across the whole step.
+  StepResult decode_step(EngineState& st, const std::vector<DecodeSlot>& slots,
+                         const std::vector<moe::MoeLayerWork>& works);
+
+  /// Convenience overload: draws each slot's routing from the per-request
+  /// workload stream and merges across the batch.
+  StepResult decode_step(EngineState& st, const std::vector<DecodeSlot>& slots);
+
+  /// Package an exhausted state into a RunReport.
+  [[nodiscard]] RunReport finish(EngineState&& st, std::string phase) const;
+
+  // --- Classic whole-run entry points (wrappers over the primitives) -------
 
   /// One encoder pass over `batch` sequences of `seq_len` tokens.
   RunReport run_encoder(std::int64_t batch, std::int64_t seq_len);
@@ -54,6 +119,7 @@ class InferenceEngine {
   [[nodiscard]] Strategy& strategy() { return *strategy_; }
   [[nodiscard]] const SystemConfig& system() const { return sys_; }
   [[nodiscard]] const moe::MoeModelConfig& model() const { return model_; }
+  [[nodiscard]] moe::WorkloadGenerator& workload() { return workload_; }
   [[nodiscard]] const std::vector<std::unique_ptr<MondeDevice>>& devices() const {
     return devices_;
   }

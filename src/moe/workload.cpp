@@ -6,7 +6,7 @@ namespace monde::moe {
 
 WorkloadGenerator::WorkloadGenerator(const MoeModelConfig& model, const SkewProfile& profile,
                                      std::uint64_t seed)
-    : model_{model}, rng_{seed} {
+    : model_{model}, rng_{seed}, seed_{seed} {
   model_.validate();
   MONDE_REQUIRE(model_.moe_every > 0, "workload generation needs an MoE model");
   for (int i = 0; i < model_.encoder_moe_layers(); ++i) {
@@ -38,7 +38,8 @@ EncoderPass WorkloadGenerator::encoder_pass(std::int64_t batch, std::int64_t seq
 
 std::vector<DecoderStep> WorkloadGenerator::decoder_steps(std::int64_t batch,
                                                           std::int64_t steps) {
-  MONDE_REQUIRE(batch > 0 && steps > 0, "decoder run needs tokens");
+  MONDE_REQUIRE(batch > 0, "decoder run needs batch > 0, got " << batch);
+  MONDE_REQUIRE(steps > 0, "decoder run needs steps > 0, got " << steps);
   std::vector<DecoderStep> out;
   out.reserve(static_cast<std::size_t>(steps));
   for (std::int64_t s = 0; s < steps; ++s) {
@@ -58,6 +59,66 @@ std::vector<DecoderStep> WorkloadGenerator::decoder_steps(std::int64_t batch,
     out.push_back(std::move(step));
   }
   return out;
+}
+
+namespace {
+
+/// 64-bit finalizer (murmur3 fmix64): decorrelates the per-request routing
+/// streams derived from (seed, request_id, step, layer).
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::vector<MoeLayerWork> WorkloadGenerator::decoder_step_for(std::uint64_t request_id,
+                                                              std::int64_t step,
+                                                              std::int64_t tokens) const {
+  MONDE_REQUIRE(step >= 0, "decoder step index must be >= 0, got " << step);
+  MONDE_REQUIRE(tokens > 0, "decoder step needs tokens > 0, got " << tokens);
+  std::vector<MoeLayerWork> out;
+  out.reserve(decoder_gatings_.size());
+  for (std::size_t i = 0; i < decoder_gatings_.size(); ++i) {
+    Rng rng{mix64(mix64(mix64(seed_ ^ 0x5e17ed5e17ed5e17ULL) + request_id) +
+                  static_cast<std::uint64_t>(step)) +
+            static_cast<std::uint64_t>(i)};
+    MoeLayerWork work;
+    work.layer_id = model_.encoder_moe_layers() + static_cast<int>(i);
+    work.total_tokens = tokens;
+    work.top_k = model_.top_k;
+    work.tokens_per_expert = decoder_gatings_[i].route(tokens, rng);
+    out.push_back(std::move(work));
+  }
+  return out;
+}
+
+std::vector<MoeLayerWork> WorkloadGenerator::merge_layer_works(
+    const std::vector<std::vector<MoeLayerWork>>& per_request) {
+  MONDE_REQUIRE(!per_request.empty(), "cannot merge zero routing draws");
+  std::vector<MoeLayerWork> merged = per_request.front();
+  for (std::size_t r = 1; r < per_request.size(); ++r) {
+    const auto& draws = per_request[r];
+    MONDE_REQUIRE(draws.size() == merged.size(),
+                  "routing draws cover different layer counts: " << draws.size() << " vs "
+                                                                 << merged.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      MoeLayerWork& acc = merged[i];
+      const MoeLayerWork& w = draws[i];
+      MONDE_REQUIRE(w.layer_id == acc.layer_id &&
+                        w.tokens_per_expert.size() == acc.tokens_per_expert.size(),
+                    "routing draws disagree on layer shape");
+      acc.total_tokens += w.total_tokens;
+      for (std::size_t e = 0; e < acc.tokens_per_expert.size(); ++e) {
+        acc.tokens_per_expert[e] += w.tokens_per_expert[e];
+      }
+    }
+  }
+  return merged;
 }
 
 const GatingModel& WorkloadGenerator::encoder_gating(std::size_t i) const {

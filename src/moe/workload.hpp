@@ -44,6 +44,22 @@ class WorkloadGenerator {
   /// Route `steps` autoregressive decoder steps of `batch` tokens each.
   [[nodiscard]] std::vector<DecoderStep> decoder_steps(std::int64_t batch, std::int64_t steps);
 
+  /// Per-request, step-indexed decoder routing: the MoE work of request
+  /// `request_id`'s decode step `step` (`tokens` new tokens, usually 1), one
+  /// MoeLayerWork per decoder MoE layer. Deterministic in
+  /// (seed, request_id, step) and independent of call order, so a
+  /// continuous-batching scheduler can draw active requests in any admission
+  /// order and still produce reproducible merged steps.
+  [[nodiscard]] std::vector<MoeLayerWork> decoder_step_for(std::uint64_t request_id,
+                                                           std::int64_t step,
+                                                           std::int64_t tokens = 1) const;
+
+  /// Element-wise sum of per-request draws into the shared per-layer work one
+  /// decode step executes. Every entry must cover the same layers in the same
+  /// order (as produced by decoder_step_for).
+  [[nodiscard]] static std::vector<MoeLayerWork> merge_layer_works(
+      const std::vector<std::vector<MoeLayerWork>>& per_request);
+
   [[nodiscard]] const MoeModelConfig& model() const { return model_; }
 
   /// The gating model of encoder MoE layer `i` (for characterization).
@@ -54,6 +70,7 @@ class WorkloadGenerator {
   std::vector<GatingModel> encoder_gatings_;
   std::vector<GatingModel> decoder_gatings_;
   Rng rng_;
+  std::uint64_t seed_;  ///< base seed for the per-request routing streams
 };
 
 }  // namespace monde::moe

@@ -1,0 +1,83 @@
+#include "serve/arrivals.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace monde::serve {
+
+void RequestShape::validate() const {
+  MONDE_REQUIRE(prompt_min > 0 && prompt_max >= prompt_min,
+                "request shape needs 0 < prompt_min <= prompt_max");
+  MONDE_REQUIRE(new_tokens_min > 0 && new_tokens_max >= new_tokens_min,
+                "request shape needs 0 < new_tokens_min <= new_tokens_max");
+}
+
+namespace {
+
+std::int64_t draw_range(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  rng.next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+/// Shared tail: assign ids and shapes over a vector of arrival times.
+std::vector<Request> shape_trace(const std::vector<Duration>& arrivals,
+                                 const RequestShape& shape, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<Request> trace;
+  trace.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    Request rq;
+    rq.id = i;
+    rq.arrival = arrivals[i];
+    rq.prompt_len = draw_range(rng, shape.prompt_min, shape.prompt_max);
+    rq.max_new_tokens = draw_range(rng, shape.new_tokens_min, shape.new_tokens_max);
+    rq.validate();
+    trace.push_back(rq);
+  }
+  return trace;
+}
+
+}  // namespace
+
+std::vector<Request> closed_loop_trace(int n, const RequestShape& shape, std::uint64_t seed) {
+  MONDE_REQUIRE(n > 0, "trace needs n > 0 requests, got " << n);
+  shape.validate();
+  return shape_trace(std::vector<Duration>(static_cast<std::size_t>(n), Duration::zero()),
+                     shape, seed);
+}
+
+std::vector<Request> poisson_trace(int n, double rate_per_s, const RequestShape& shape,
+                                   std::uint64_t seed) {
+  MONDE_REQUIRE(n > 0, "trace needs n > 0 requests, got " << n);
+  MONDE_REQUIRE(rate_per_s > 0.0, "Poisson trace needs rate > 0, got " << rate_per_s);
+  shape.validate();
+  // Draw inter-arrival gaps with an Rng distinct from the shape stream so
+  // changing the shape envelope does not perturb arrival times.
+  Rng rng{seed ^ 0xa11a5a11a5ULL};
+  std::vector<Duration> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(n));
+  Duration t = Duration::zero();
+  for (int i = 0; i < n; ++i) {
+    // Exponential inter-arrival: -ln(1-u) / rate.
+    t += Duration::seconds(-std::log(1.0 - rng.next_double()) / rate_per_s);
+    arrivals.push_back(t);
+  }
+  return shape_trace(arrivals, shape, seed);
+}
+
+std::vector<Request> bursty_trace(int n, int burst_size, Duration burst_gap,
+                                  const RequestShape& shape, std::uint64_t seed) {
+  MONDE_REQUIRE(n > 0, "trace needs n > 0 requests, got " << n);
+  MONDE_REQUIRE(burst_size > 0, "bursty trace needs burst_size > 0, got " << burst_size);
+  MONDE_REQUIRE(burst_gap > Duration::zero(), "bursty trace needs a positive burst gap");
+  shape.validate();
+  std::vector<Duration> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    arrivals.push_back(burst_gap * static_cast<double>(i / burst_size));
+  }
+  return shape_trace(arrivals, shape, seed);
+}
+
+}  // namespace monde::serve

@@ -1,0 +1,46 @@
+// Arrival-trace generators for the serving simulator.
+//
+// Three canonical load shapes cover most serving studies:
+//   * closed-loop  -- all requests queued at t=0 (offline / batch inference);
+//   * Poisson      -- open-loop with exponential inter-arrival times, the
+//                     standard model of independent online users;
+//   * bursty       -- groups of simultaneous requests separated by idle
+//                     gaps, the shape that stresses admission control and
+//                     tail latency.
+// Generation is deterministic given the seed; request shapes (prompt length,
+// decode budget) are drawn uniformly from a RequestShape envelope.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace monde::serve {
+
+/// Envelope of request shapes in a generated trace; each request draws its
+/// prompt length and decode budget uniformly from these ranges.
+struct RequestShape {
+  std::int64_t prompt_min = 64;
+  std::int64_t prompt_max = 256;
+  std::int64_t new_tokens_min = 8;
+  std::int64_t new_tokens_max = 32;
+
+  void validate() const;
+};
+
+/// `n` requests all queued at t=0 (offline batch inference).
+[[nodiscard]] std::vector<Request> closed_loop_trace(int n, const RequestShape& shape,
+                                                     std::uint64_t seed);
+
+/// Open-loop Poisson arrivals at `rate_per_s` requests per second.
+[[nodiscard]] std::vector<Request> poisson_trace(int n, double rate_per_s,
+                                                 const RequestShape& shape,
+                                                 std::uint64_t seed);
+
+/// Bursts of `burst_size` back-to-back requests separated by `burst_gap`.
+[[nodiscard]] std::vector<Request> bursty_trace(int n, int burst_size, Duration burst_gap,
+                                                const RequestShape& shape,
+                                                std::uint64_t seed);
+
+}  // namespace monde::serve

@@ -1,0 +1,31 @@
+// The request model of the serving layer.
+//
+// A serving workload is a trace of inference requests: each arrives at some
+// wall-clock time with a prompt to prefill (one encoder pass) and a budget of
+// new tokens to decode. The scheduler (scheduler.hpp) decides when a request
+// is admitted into the shared decode batch; ServerSim (server.hpp) turns a
+// trace into per-request latency and aggregate throughput numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace monde::serve {
+
+/// One inference request in a serving trace.
+struct Request {
+  std::uint64_t id = 0;
+  Duration arrival = Duration::zero();  ///< when the request enters the queue
+  std::int64_t prompt_len = 0;          ///< source tokens to prefill
+  std::int64_t max_new_tokens = 0;      ///< decode budget (tokens to generate)
+
+  void validate() const {
+    MONDE_REQUIRE(prompt_len > 0, "request " << id << " needs prompt_len > 0");
+    MONDE_REQUIRE(max_new_tokens > 0, "request " << id << " needs max_new_tokens > 0");
+    MONDE_REQUIRE(arrival >= Duration::zero(), "request " << id << " arrives before t=0");
+  }
+};
+
+}  // namespace monde::serve

@@ -1,0 +1,140 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+namespace monde::serve {
+
+std::string to_string(BatchingMode mode) {
+  return mode == BatchingMode::kFixed ? "fixed" : "continuous";
+}
+
+void SchedulerConfig::validate() const {
+  MONDE_REQUIRE(token_budget > 0, "scheduler needs token_budget > 0, got " << token_budget);
+  MONDE_REQUIRE(fixed_batch > 0, "scheduler needs fixed_batch > 0, got " << fixed_batch);
+  MONDE_REQUIRE(fixed_batch <= token_budget,
+                "fixed_batch (" << fixed_batch << ") must not exceed token_budget ("
+                                << token_budget << ")");
+}
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(SchedulerConfig cfg) : cfg_{cfg} {
+  cfg_.validate();
+}
+
+void ContinuousBatchScheduler::submit(std::vector<Request> trace) {
+  MONDE_REQUIRE(states_.empty(), "submit() may be called only once");
+  MONDE_REQUIRE(!trace.empty(), "cannot serve an empty trace");
+  std::stable_sort(trace.begin(), trace.end(), [](const Request& a, const Request& b) {
+    return a.arrival != b.arrival ? a.arrival < b.arrival : a.id < b.id;
+  });
+  states_.reserve(trace.size());
+  for (Request& rq : trace) {
+    rq.validate();
+    states_.push_back(RequestState{rq});
+  }
+}
+
+bool ContinuousBatchScheduler::finished() const {
+  return next_pending_ == states_.size() && queued_.empty() && active_.empty() &&
+         !states_.empty();
+}
+
+Duration ContinuousBatchScheduler::next_arrival() const {
+  return next_pending_ < states_.size() ? states_[next_pending_].request.arrival
+                                        : Duration::infinite();
+}
+
+void ContinuousBatchScheduler::release_arrivals(Duration now) {
+  while (next_pending_ < states_.size() && states_[next_pending_].request.arrival <= now) {
+    queued_.push_back(next_pending_);
+    ++next_pending_;
+  }
+}
+
+std::vector<RequestState*> ContinuousBatchScheduler::admit() {
+  std::vector<RequestState*> newly;
+  if (cfg_.mode == BatchingMode::kFixed) {
+    // A new batch forms only on an empty server, and waits for a full batch
+    // while more arrivals are still due (the classic batching delay).
+    if (!active_.empty() || queued_.empty()) return newly;
+    if (static_cast<std::int64_t>(queued_.size()) < cfg_.fixed_batch &&
+        next_pending_ < states_.size()) {
+      return newly;
+    }
+    const std::size_t take =
+        std::min(queued_.size(), static_cast<std::size_t>(cfg_.fixed_batch));
+    for (std::size_t i = 0; i < take; ++i) {
+      active_.push_back(queued_[i]);
+      newly.push_back(&states_[queued_[i]]);
+    }
+    queued_.erase(queued_.begin(), queued_.begin() + static_cast<std::ptrdiff_t>(take));
+    return newly;
+  }
+
+  // Continuous: admit while this step's tokens (prefills admitted now + one
+  // decode token per slot after admission) stay within the budget.
+  std::int64_t prefill_tokens = 0;
+  while (!queued_.empty()) {
+    const std::size_t idx = queued_.front();
+    const std::int64_t prompt = states_[idx].request.prompt_len;
+    const std::int64_t slots_after =
+        static_cast<std::int64_t>(active_.size()) + static_cast<std::int64_t>(newly.size()) + 1;
+    const bool fits = prefill_tokens + prompt + slots_after <= cfg_.token_budget;
+    // Starvation guard: an over-budget prompt runs alone on an empty server.
+    const bool oversized_alone = active_.empty() && newly.empty() &&
+                                 prompt + 1 > cfg_.token_budget;
+    if (!fits && !oversized_alone) break;
+    queued_.erase(queued_.begin());
+    active_.push_back(idx);
+    newly.push_back(&states_[idx]);
+    prefill_tokens += prompt;
+    if (oversized_alone) break;
+  }
+  return newly;
+}
+
+std::vector<core::DecodeSlot> ContinuousBatchScheduler::slots() const {
+  std::vector<core::DecodeSlot> out;
+  out.reserve(active_.size());
+  for (const std::size_t idx : active_) {
+    const RequestState& rs = states_[idx];
+    out.push_back({rs.request.id, rs.step, rs.request.prompt_len});
+  }
+  return out;
+}
+
+std::vector<moe::MoeLayerWork> ContinuousBatchScheduler::step_works(
+    moe::WorkloadGenerator& gen) const {
+  MONDE_REQUIRE(!active_.empty(), "no active requests to route");
+  std::vector<std::vector<moe::MoeLayerWork>> draws;
+  draws.reserve(active_.size());
+  for (const std::size_t idx : active_) {
+    const RequestState& rs = states_[idx];
+    draws.push_back(gen.decoder_step_for(rs.request.id, rs.step));
+  }
+  return moe::WorkloadGenerator::merge_layer_works(draws);
+}
+
+void ContinuousBatchScheduler::complete_step(Duration end) {
+  bool all_done = true;
+  for (const std::size_t idx : active_) {
+    RequestState& rs = states_[idx];
+    ++rs.step;
+    if (!rs.done) {
+      ++rs.generated;
+      if (rs.generated == 1) rs.first_token = end;
+      if (rs.generated == rs.request.max_new_tokens) {
+        rs.done = true;
+        rs.completion = end;
+      }
+    }
+    all_done = all_done && rs.done;
+  }
+  if (cfg_.mode == BatchingMode::kFixed) {
+    // Padded slots keep running until the whole batch drains.
+    if (all_done) active_.clear();
+    return;
+  }
+  std::erase_if(active_, [this](std::size_t idx) { return states_[idx].done; });
+}
+
+}  // namespace monde::serve

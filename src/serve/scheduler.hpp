@@ -1,0 +1,108 @@
+// Request admission and batch composition for the serving simulator.
+//
+// The scheduler owns the request lifecycle (pending -> queued -> active ->
+// done) and decides, at every step boundary, which queued requests join the
+// shared decode batch:
+//
+//   * kContinuous -- requests are admitted as soon as the per-step token
+//     budget (prefill tokens admitted this step + one decode token per
+//     active slot) allows, and leave the batch the moment they finish. This
+//     is vLLM/Orca-style continuous batching.
+//   * kFixed -- the classic baseline: requests are grouped into fixed-size
+//     batches; a batch is admitted only when the previous one fully drains,
+//     and finished requests keep occupying padded slots until the whole
+//     batch completes.
+//
+// The scheduler also merges the per-request, step-indexed gating draws from
+// moe::WorkloadGenerator into the per-layer MoeLayerWork a shared decode
+// step executes, which is what makes per-request routing (and therefore
+// latency) independent of admission order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "moe/workload.hpp"
+#include "serve/request.hpp"
+
+namespace monde::serve {
+
+enum class BatchingMode {
+  kFixed,       ///< fixed-size batches, padded until the whole batch drains
+  kContinuous,  ///< per-step join/leave under a token budget
+};
+
+[[nodiscard]] std::string to_string(BatchingMode mode);
+
+struct SchedulerConfig {
+  BatchingMode mode = BatchingMode::kContinuous;
+  /// Per-step token cap for continuous batching: prompt tokens prefilled in
+  /// the step plus one decode token per active slot. A request whose prompt
+  /// alone exceeds the budget is admitted once the server is otherwise empty
+  /// (it can never fit, and starving it forever would deadlock the queue).
+  std::int64_t token_budget = 256;
+  /// Batch size for kFixed; must not exceed token_budget so the two modes
+  /// are comparable under one config.
+  std::int64_t fixed_batch = 8;
+
+  void validate() const;
+};
+
+/// A request plus its serving-lifecycle bookkeeping.
+struct RequestState {
+  Request request;
+  std::int64_t generated = 0;  ///< useful tokens produced so far
+  std::int64_t step = 0;       ///< decode depth (includes fixed-mode padded steps)
+  bool done = false;
+  Duration admitted = Duration::zero();
+  Duration first_token = Duration::zero();
+  Duration completion = Duration::zero();
+};
+
+/// Admission control + batch composition over one request trace.
+class ContinuousBatchScheduler {
+ public:
+  explicit ContinuousBatchScheduler(SchedulerConfig cfg);
+
+  /// Load the trace (any order; sorted by arrival internally). Call once.
+  void submit(std::vector<Request> trace);
+
+  [[nodiscard]] bool finished() const;
+
+  /// Arrival time of the next not-yet-released request (infinite if none).
+  [[nodiscard]] Duration next_arrival() const;
+
+  /// Move every request with arrival <= now from pending into the queue.
+  void release_arrivals(Duration now);
+
+  /// Admit queued requests into the active batch per the configured policy.
+  /// Returns the newly admitted requests (they still need their prefill).
+  std::vector<RequestState*> admit();
+
+  /// The active decode batch (admission order).
+  [[nodiscard]] const std::vector<std::size_t>& active() const { return active_; }
+  [[nodiscard]] const std::vector<RequestState>& states() const { return states_; }
+
+  /// One DecodeSlot per active request (its id, depth, and prompt context).
+  [[nodiscard]] std::vector<core::DecodeSlot> slots() const;
+
+  /// Per-request gating draws for the upcoming step, merged across the
+  /// active batch into one MoeLayerWork per decoder MoE layer.
+  [[nodiscard]] std::vector<moe::MoeLayerWork> step_works(moe::WorkloadGenerator& gen) const;
+
+  /// Account one finished decode step ending at `end`: advance depths,
+  /// record first-token/completion times, and retire finished requests
+  /// (immediately in continuous mode, batch-at-once in fixed mode).
+  void complete_step(Duration end);
+
+ private:
+  SchedulerConfig cfg_;
+  std::vector<RequestState> states_;  ///< sorted by (arrival, id); stable storage
+  std::size_t next_pending_ = 0;      ///< states_[next_pending_..) not yet arrived
+  std::vector<std::size_t> queued_;   ///< arrived, awaiting admission (FIFO)
+  std::vector<std::size_t> active_;   ///< in the decode batch
+};
+
+}  // namespace monde::serve

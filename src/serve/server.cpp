@@ -1,0 +1,78 @@
+#include "serve/server.hpp"
+
+namespace monde::serve {
+
+ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg)
+    : engine_{engine}, cfg_{cfg} {
+  cfg_.validate();
+}
+
+ServeReport ServerSim::run(std::vector<Request> trace) {
+  ContinuousBatchScheduler sched{cfg_};
+  sched.submit(std::move(trace));
+
+  core::EngineState st = engine_.make_state();
+  ServeReport report;
+  report.strategy = engine_.strategy().name();
+  report.mode = to_string(cfg_.mode);
+
+  while (!sched.finished()) {
+    sched.release_arrivals(st.now);
+    const std::vector<RequestState*> newly = sched.admit();
+    if (newly.empty() && sched.active().empty()) {
+      // Nothing runnable: fast-forward to the next arrival (continuous) or
+      // to the arrival that completes a fixed batch.
+      const Duration next = sched.next_arrival();
+      MONDE_ASSERT(next < Duration::infinite(), "server idle with no future arrivals");
+      st.now = monde::max(st.now, next);
+      continue;
+    }
+
+    StepRecord rec;
+    rec.index = static_cast<std::int64_t>(report.steps.size());
+    rec.start = st.now;
+    for (RequestState* rs : newly) {
+      rs->admitted = st.now;
+      engine_.prefill(st, 1, rs->request.prompt_len);
+      rec.prefill_tokens += rs->request.prompt_len;
+    }
+    // Newly admitted requests join this step's decode immediately, so a
+    // step's cost is its prefills plus one shared decode over all slots.
+    const std::vector<core::DecodeSlot> slots = sched.slots();
+    const std::vector<moe::MoeLayerWork> works = sched.step_works(engine_.workload());
+    const core::StepResult sr = engine_.decode_step(st, slots, works);
+    sched.complete_step(sr.end);
+    rec.decode_tokens = static_cast<std::int64_t>(slots.size());
+    rec.end = st.now;
+    report.steps.push_back(rec);
+  }
+
+  report.makespan = st.now;
+  std::vector<double> ttft_ms, tpot_ms, e2e_ms;
+  for (const RequestState& rs : sched.states()) {
+    MONDE_ASSERT(rs.done, "request " << rs.request.id << " never completed");
+    RequestMetrics m;
+    m.id = rs.request.id;
+    m.prompt_len = rs.request.prompt_len;
+    m.generated = rs.generated;
+    m.arrival = rs.request.arrival;
+    m.admitted = rs.admitted;
+    m.first_token = rs.first_token;
+    m.completion = rs.completion;
+    report.generated_tokens += static_cast<std::uint64_t>(rs.generated);
+    ttft_ms.push_back(m.ttft().ms());
+    if (m.generated > 1) tpot_ms.push_back(m.tpot().ms());
+    e2e_ms.push_back(m.e2e().ms());
+    report.requests.push_back(m);
+  }
+  report.ttft_ms = compute_percentiles(std::move(ttft_ms));
+  if (!tpot_ms.empty()) report.tpot_ms = compute_percentiles(std::move(tpot_ms));
+  report.e2e_ms = compute_percentiles(std::move(e2e_ms));
+  report.tokens_per_s = report.makespan > Duration::zero()
+                            ? static_cast<double>(report.generated_tokens) /
+                                  report.makespan.sec()
+                            : 0.0;
+  return report;
+}
+
+}  // namespace monde::serve

@@ -1,0 +1,87 @@
+// The serving simulator: a request trace in, per-request latency and
+// aggregate throughput out.
+//
+// ServerSim drives the engine's step primitives under a batching scheduler:
+// it releases arrivals, admits requests (prefilling each on admission), runs
+// one shared decode step per iteration over the active batch, and fast-
+// forwards through idle gaps. Metric conventions (all measured from request
+// arrival):
+//
+//   TTFT  time to first token  -- completion of the request's first decode
+//         step (this simulator models encoder-decoder stacks, so the first
+//         token lands one decode step after the prefill);
+//   TPOT  time per output token -- (completion - first token) / (n - 1),
+//         the steady-state decode cadence;
+//   E2E   end-to-end latency    -- completion of the last token.
+//
+// Aggregate throughput is useful (non-padding) generated tokens divided by
+// the simulated makespan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/engine.hpp"
+#include "serve/scheduler.hpp"
+
+namespace monde::serve {
+
+/// What one scheduler step processed (for budget audits and utilization).
+struct StepRecord {
+  std::int64_t index = 0;
+  Duration start = Duration::zero();
+  Duration end = Duration::zero();
+  std::int64_t prefill_tokens = 0;  ///< prompt tokens prefilled this step
+  std::int64_t decode_tokens = 0;   ///< decode slots (incl. fixed-mode padding)
+};
+
+/// Final per-request latency accounting.
+struct RequestMetrics {
+  std::uint64_t id = 0;
+  std::int64_t prompt_len = 0;
+  std::int64_t generated = 0;
+  Duration arrival = Duration::zero();
+  Duration admitted = Duration::zero();
+  Duration first_token = Duration::zero();
+  Duration completion = Duration::zero();
+
+  [[nodiscard]] Duration ttft() const { return first_token - arrival; }
+  [[nodiscard]] Duration e2e() const { return completion - arrival; }
+  [[nodiscard]] Duration tpot() const {
+    return generated > 1 ? (completion - first_token) / static_cast<double>(generated - 1)
+                         : Duration::zero();
+  }
+};
+
+/// Everything one serving run produced.
+struct ServeReport {
+  std::string strategy;
+  std::string mode;  ///< "fixed" or "continuous"
+  std::vector<RequestMetrics> requests;
+  std::vector<StepRecord> steps;
+  Duration makespan = Duration::zero();
+  std::uint64_t generated_tokens = 0;
+  double tokens_per_s = 0.0;
+  Percentiles ttft_ms;
+  /// All-zero when no request generated more than one token (TPOT is
+  /// undefined for single-token responses).
+  Percentiles tpot_ms;
+  Percentiles e2e_ms;
+};
+
+/// Drives one InferenceEngine through a request trace under one scheduler.
+class ServerSim {
+ public:
+  ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg);
+
+  /// Simulate the whole trace to completion. Deterministic given the
+  /// engine's seed and the trace.
+  [[nodiscard]] ServeReport run(std::vector<Request> trace);
+
+ private:
+  core::InferenceEngine& engine_;
+  SchedulerConfig cfg_;
+};
+
+}  // namespace monde::serve

@@ -253,6 +253,34 @@ TEST(Histogram, RejectsBadBounds) {
   EXPECT_THROW(Histogram({2.0, 1.0}), Error);
 }
 
+TEST(Stats, PercentileLinearInterpolation) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);   // midpoint of 2 and 3
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);  // rank 0.75 between 1 and 2
+}
+
+TEST(Stats, PercentileSingleElementAndErrors) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+  EXPECT_THROW((void)percentile({}, 50.0), Error);
+  EXPECT_THROW((void)percentile({1.0}, -1.0), Error);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), Error);
+}
+
+TEST(Stats, PercentilesTrioMatchesPercentile) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const Percentiles p = compute_percentiles(v);
+  EXPECT_DOUBLE_EQ(p.p50, percentile(v, 50.0));
+  EXPECT_DOUBLE_EQ(p.p95, percentile(v, 95.0));
+  EXPECT_DOUBLE_EQ(p.p99, percentile(v, 99.0));
+  EXPECT_LE(p.p50, p.p95);
+  EXPECT_LE(p.p95, p.p99);
+  EXPECT_THROW((void)compute_percentiles({}), Error);
+}
+
 TEST(Stats, Geomean) {
   EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
   EXPECT_THROW((void)geomean({}), Error);

@@ -403,6 +403,145 @@ TEST(Engine, SharedSimulatorReusesMemoization) {
   EXPECT_EQ(shared->memo_misses(), misses_after_first);  // all hits
 }
 
+// --- Refactor seam: run_encoder / run_decoder are reimplemented on top of
+// the prefill()/decode_step() primitives. These pins capture the exact
+// report values the pre-refactor monolithic loops produced (printed with
+// %.17g, so the literals round-trip bit-exactly); the step-wise engine must
+// keep reproducing them.
+
+TEST(Engine, ReportsPinnedMdLb) {
+  // Encoder then decoder on one engine, in this order: the load balancer's
+  // autotuner state and the workload RNG advance across runs, so the pinned
+  // values are tied to this exact call sequence.
+  InferenceEngine eng{SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                      StrategyKind::kMondeLoadBalanced, 42};
+  const RunReport enc = eng.run_encoder(2, 128);
+  EXPECT_DOUBLE_EQ(enc.total.ns(), 4569608.2068707831);
+  EXPECT_DOUBLE_EQ(enc.moe.ns(), 3792324.1966473516);
+  EXPECT_DOUBLE_EQ(enc.non_moe.ns(), 777284.0102234314);
+  ASSERT_EQ(enc.layers.size(), 2u);
+  std::int64_t gpu = 0, ndp = 0, cpu = 0;
+  for (const auto& l : enc.layers) {
+    gpu += l.experts_gpu;
+    ndp += l.experts_ndp;
+    cpu += l.experts_cpu;
+  }
+  EXPECT_EQ(gpu, 20);
+  EXPECT_EQ(ndp, 12);
+  EXPECT_EQ(cpu, 0);
+
+  const RunReport dec = eng.run_decoder(2, 4, 128);
+  EXPECT_DOUBLE_EQ(dec.total.ns(), 12792135.793517902);
+  EXPECT_DOUBLE_EQ(dec.moe.ns(), 3292931.5194639787);
+  EXPECT_DOUBLE_EQ(dec.non_moe.ns(), 9499204.2740539219);
+  ASSERT_EQ(dec.layers.size(), 8u);
+  gpu = ndp = 0;
+  for (const auto& l : dec.layers) {
+    gpu += l.experts_gpu;
+    ndp += l.experts_ndp;
+  }
+  EXPECT_EQ(gpu, 19);
+  EXPECT_EQ(ndp, 8);
+}
+
+TEST(Engine, ReportsPinnedGpuPmove) {
+  InferenceEngine eng{SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                      StrategyKind::kGpuPmove, 7};
+  const RunReport enc = eng.run_encoder(1, 64);
+  EXPECT_DOUBLE_EQ(enc.total.ns(), 5642157.4822156876);
+  EXPECT_DOUBLE_EQ(enc.moe.ns(), 4873306.7923957678);
+  EXPECT_DOUBLE_EQ(enc.non_moe.ns(), 768850.68981991964);
+  ASSERT_EQ(enc.layers.size(), 2u);
+  const RunReport dec = eng.run_decoder(1, 3, 64);
+  EXPECT_DOUBLE_EQ(dec.total.ns(), 9125789.8294882607);
+  EXPECT_DOUBLE_EQ(dec.moe.ns(), 2003078.6348308269);
+  EXPECT_DOUBLE_EQ(dec.non_moe.ns(), 7122711.1946574338);
+  ASSERT_EQ(dec.layers.size(), 6u);
+}
+
+// --- Step primitives ---------------------------------------------------------
+
+TEST(Engine, StepPrimitivesComposeIntoRuns) {
+  // Driving the primitives by hand must equal run_encoder + run_decoder on a
+  // fresh engine with the same seed (same draws, same schedule).
+  InferenceEngine manual{SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                         StrategyKind::kMondeAmove, 42};
+  EngineState st = manual.make_state();
+  const StepResult pf = manual.prefill(st, 2, 64);
+  EXPECT_DOUBLE_EQ(pf.start.ns(), 0.0);
+  EXPECT_EQ(pf.tokens, 128u);
+  const auto works = manual.workload().decoder_steps(2, 1);
+  const std::vector<DecodeSlot> slots = {{0, 0, 64}, {1, 0, 64}};
+  const StepResult ds = manual.decode_step(st, slots, works[0].moe_layers);
+  EXPECT_DOUBLE_EQ(ds.start.ns(), pf.end.ns());  // steps chain on the cursor
+  EXPECT_EQ(ds.tokens, 2u);
+  const RunReport rep = manual.finish(std::move(st), "decoder");
+  EXPECT_EQ(rep.tokens, 130u);
+  EXPECT_DOUBLE_EQ(rep.total.ns(), ds.end.ns());
+  EXPECT_TRUE(rep.timeline.validate().empty());
+
+  InferenceEngine whole{SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                        StrategyKind::kMondeAmove, 42};
+  const RunReport enc = whole.run_encoder(2, 64);
+  const RunReport dec = whole.run_decoder(2, 1, 64);
+  EXPECT_DOUBLE_EQ(rep.total.ns(), (enc.total + dec.total).ns());
+}
+
+TEST(Engine, DecodeStepHandlesMixedDepths) {
+  InferenceEngine eng{SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                      StrategyKind::kMondeLoadBalanced, 42};
+  EngineState st = eng.make_state();
+  // A continuous batch: three requests at decode depths 0, 5, and 11 with
+  // different prompt lengths.
+  const std::vector<DecodeSlot> slots = {{10, 0, 64}, {11, 5, 128}, {12, 11, 96}};
+  const StepResult r = eng.decode_step(st, slots);
+  EXPECT_EQ(r.tokens, 3u);
+  EXPECT_GT(r.end, r.start);
+  EXPECT_TRUE(st.sched.timeline().validate().empty());
+  ASSERT_EQ(st.layers.size(), 2u);  // tiny model: 2 decoder MoE layers
+  for (const auto& l : st.layers) {
+    EXPECT_GE(l.experts_gpu + l.experts_ndp + l.experts_cpu, 1);
+    EXPECT_LE(l.experts_gpu + l.experts_ndp + l.experts_cpu, 6);  // 3 tokens x top-2
+  }
+  // Deeper slots attend over longer KV caches: a second identical step at
+  // greater depths must not be cheaper.
+  EngineState st2 = eng.make_state();
+  const std::vector<DecodeSlot> deep = {{10, 100, 64}, {11, 105, 128}, {12, 111, 96}};
+  const StepResult r2 = eng.decode_step(st2, deep);
+  EXPECT_GE(r2.latency().ns(), r.latency().ns() * 0.5);
+}
+
+TEST(Engine, DecodeStepPerRequestRoutingIndependentOfBatchOrder) {
+  // The same three requests in a different slot order must produce the same
+  // merged MoE work (per-request draws are order-independent).
+  InferenceEngine eng{SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                      StrategyKind::kMondeAmove, 42};
+  const auto draw = [&](std::uint64_t id, std::int64_t step) {
+    return eng.workload().decoder_step_for(id, step);
+  };
+  const auto merged_a = moe::WorkloadGenerator::merge_layer_works(
+      {draw(1, 0), draw(2, 3), draw(3, 7)});
+  const auto merged_b = moe::WorkloadGenerator::merge_layer_works(
+      {draw(3, 7), draw(1, 0), draw(2, 3)});
+  ASSERT_EQ(merged_a.size(), merged_b.size());
+  for (std::size_t i = 0; i < merged_a.size(); ++i) {
+    EXPECT_EQ(merged_a[i].tokens_per_expert, merged_b[i].tokens_per_expert);
+  }
+}
+
+TEST(Engine, DecodeStepRejectsBadInput) {
+  InferenceEngine eng{SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                      StrategyKind::kMondeAmove, 42};
+  EngineState st = eng.make_state();
+  EXPECT_THROW((void)eng.decode_step(st, {}), Error);
+  // Wrong per-layer work count for this model.
+  const std::vector<DecodeSlot> slots = {{0, 0, 64}};
+  EXPECT_THROW((void)eng.decode_step(st, slots, {}), Error);
+  // Negative decode depth.
+  EngineState st2 = eng.make_state();
+  EXPECT_THROW((void)eng.decode_step(st2, {{0, -1, 64}}), Error);
+}
+
 TEST(Engine, RejectsDenseModel) {
   EXPECT_THROW(InferenceEngine(SystemConfig::dac24(), moe::MoeModelConfig::t5_large_dense(),
                                moe::SkewProfile::uniform(), StrategyKind::kIdealGpu, 1),

@@ -224,6 +224,67 @@ TEST(Workload, DecoderActivatesFewExperts) {
   }
 }
 
+TEST(Workload, RejectsZeroBatchAndZeroSteps) {
+  WorkloadGenerator gen{MoeModelConfig::switch_large_128(), SkewProfile::switch_like(), 1};
+  // Silent empty output would let a serving bug slip by; both degenerate
+  // inputs must fail loudly instead.
+  EXPECT_THROW((void)gen.decoder_steps(0, 5), Error);
+  EXPECT_THROW((void)gen.decoder_steps(4, 0), Error);
+  EXPECT_THROW((void)gen.decoder_step_for(0, 0, 0), Error);
+  EXPECT_THROW((void)gen.decoder_step_for(0, -1, 1), Error);
+}
+
+TEST(Workload, PerRequestRoutingDeterministicAndOrderIndependent) {
+  const MoeModelConfig model = MoeModelConfig::nllb_moe_128();
+  WorkloadGenerator a{model, SkewProfile::nllb_like(), 42};
+  WorkloadGenerator b{model, SkewProfile::nllb_like(), 42};
+  // Interleave calls differently; draws depend only on (seed, request, step).
+  const auto a_r3s2 = a.decoder_step_for(3, 2);
+  const auto a_r1s0 = a.decoder_step_for(1, 0);
+  const auto b_r1s0 = b.decoder_step_for(1, 0);
+  const auto b_r3s2 = b.decoder_step_for(3, 2);
+  ASSERT_EQ(a_r3s2.size(), 6u);  // NLLB: 6 decoder MoE layers
+  for (std::size_t i = 0; i < a_r3s2.size(); ++i) {
+    EXPECT_EQ(a_r3s2[i].tokens_per_expert, b_r3s2[i].tokens_per_expert);
+    EXPECT_EQ(a_r1s0[i].tokens_per_expert, b_r1s0[i].tokens_per_expert);
+  }
+  // Different requests / steps draw different routings (w.h.p.; seeds pinned).
+  EXPECT_NE(a_r3s2[0].tokens_per_expert, a_r1s0[0].tokens_per_expert);
+  // A different base seed decorrelates the whole stream.
+  WorkloadGenerator c{model, SkewProfile::nllb_like(), 43};
+  EXPECT_NE(c.decoder_step_for(3, 2)[0].tokens_per_expert, a_r3s2[0].tokens_per_expert);
+}
+
+TEST(Workload, PerRequestRoutingConservesTokens) {
+  WorkloadGenerator gen{MoeModelConfig::nllb_moe_128(), SkewProfile::nllb_like(), 42};
+  const auto works = gen.decoder_step_for(9, 4, 3);
+  for (const auto& w : works) {
+    EXPECT_EQ(w.total_tokens, 3);
+    EXPECT_EQ(w.routed_tokens(), 3u * 2u);  // top-2
+    EXPECT_EQ(w.tokens_per_expert.size(), 128u);
+  }
+  // Layer ids continue after the encoder stack, like decoder_steps().
+  EXPECT_EQ(works.front().layer_id, gen.model().encoder_moe_layers());
+}
+
+TEST(Workload, MergeLayerWorksSumsDraws) {
+  WorkloadGenerator gen{MoeModelConfig::nllb_moe_128(), SkewProfile::nllb_like(), 42};
+  const auto d1 = gen.decoder_step_for(1, 0);
+  const auto d2 = gen.decoder_step_for(2, 5);
+  const auto merged = WorkloadGenerator::merge_layer_works({d1, d2});
+  ASSERT_EQ(merged.size(), d1.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].total_tokens, 2);
+    EXPECT_EQ(merged[i].routed_tokens(), d1[i].routed_tokens() + d2[i].routed_tokens());
+    for (std::size_t e = 0; e < merged[i].tokens_per_expert.size(); ++e) {
+      EXPECT_EQ(merged[i].tokens_per_expert[e],
+                d1[i].tokens_per_expert[e] + d2[i].tokens_per_expert[e]);
+    }
+  }
+  EXPECT_THROW((void)WorkloadGenerator::merge_layer_works({}), Error);
+  EXPECT_THROW((void)WorkloadGenerator::merge_layer_works({d1, {}}), Error);
+}
+
 TEST(Workload, RequiresMoeModel) {
   EXPECT_THROW(
       WorkloadGenerator(MoeModelConfig::t5_large_dense(), SkewProfile::uniform(), 1),

@@ -1,0 +1,283 @@
+// Unit tests for the serving layer: request model, arrival traces, the
+// continuous-batch scheduler, and the end-to-end server simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/server.hpp"
+
+namespace monde::serve {
+namespace {
+
+/// A small MoE model that keeps cycle-level simulations fast.
+moe::MoeModelConfig tiny_model() {
+  moe::MoeModelConfig m = moe::MoeModelConfig::switch_variant(512, 16);
+  m.encoder_blocks = 4;
+  m.decoder_blocks = 4;
+  m.moe_every = 2;
+  m.vocab_size = 8192;
+  m.top_k = 2;
+  m.name = "tiny-test-model";
+  return m;
+}
+
+core::InferenceEngine make_engine(core::StrategyKind kind, std::uint64_t seed = 42) {
+  return core::InferenceEngine{core::SystemConfig::dac24(), tiny_model(),
+                               moe::SkewProfile::switch_like(), kind, seed};
+}
+
+RequestShape small_shape() {
+  RequestShape s;
+  s.prompt_min = 16;
+  s.prompt_max = 48;
+  s.new_tokens_min = 2;
+  s.new_tokens_max = 8;
+  return s;
+}
+
+std::vector<Request> test_trace() {
+  return poisson_trace(12, /*rate_per_s=*/40.0, small_shape(), /*seed=*/5);
+}
+
+// --- Request / arrivals -------------------------------------------------------
+
+TEST(Request, ValidationCatchesBadRequests) {
+  Request rq{0, Duration::zero(), 8, 4};
+  EXPECT_NO_THROW(rq.validate());
+  rq.prompt_len = 0;
+  EXPECT_THROW(rq.validate(), Error);
+  rq = {1, Duration::zero(), 8, 0};
+  EXPECT_THROW(rq.validate(), Error);
+  rq = {2, Duration::zero() - Duration::nanos(1), 8, 4};
+  EXPECT_THROW(rq.validate(), Error);
+}
+
+TEST(Arrivals, ClosedLoopAllAtTimeZero) {
+  const auto trace = closed_loop_trace(10, small_shape(), 1);
+  ASSERT_EQ(trace.size(), 10u);
+  for (const auto& rq : trace) {
+    EXPECT_EQ(rq.arrival, Duration::zero());
+    EXPECT_GE(rq.prompt_len, 16);
+    EXPECT_LE(rq.prompt_len, 48);
+    EXPECT_GE(rq.max_new_tokens, 2);
+    EXPECT_LE(rq.max_new_tokens, 8);
+  }
+}
+
+TEST(Arrivals, IdsAreSequentialAndUnique) {
+  const auto trace = poisson_trace(20, 10.0, small_shape(), 2);
+  std::set<std::uint64_t> ids;
+  for (const auto& rq : trace) ids.insert(rq.id);
+  EXPECT_EQ(ids.size(), 20u);
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), 19u);
+}
+
+TEST(Arrivals, PoissonMeanInterArrivalMatchesRate) {
+  const auto trace = poisson_trace(4000, 25.0, small_shape(), 3);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);  // sorted, non-negative gaps
+  }
+  const double mean_gap_s = trace.back().arrival.sec() / static_cast<double>(trace.size());
+  EXPECT_NEAR(mean_gap_s, 1.0 / 25.0, 0.004);
+}
+
+TEST(Arrivals, BurstyGroupsArrivals) {
+  const auto trace = bursty_trace(9, 3, Duration::millis(10), small_shape(), 4);
+  ASSERT_EQ(trace.size(), 9u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace[i].arrival.ms(), 10.0 * static_cast<double>(i / 3));
+  }
+}
+
+TEST(Arrivals, DeterministicGivenSeed) {
+  const auto a = poisson_trace(16, 10.0, small_shape(), 9);
+  const auto b = poisson_trace(16, 10.0, small_shape(), 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+    EXPECT_EQ(a[i].max_new_tokens, b[i].max_new_tokens);
+  }
+}
+
+TEST(Arrivals, RejectsBadParameters) {
+  EXPECT_THROW((void)closed_loop_trace(0, small_shape(), 1), Error);
+  EXPECT_THROW((void)poisson_trace(4, 0.0, small_shape(), 1), Error);
+  EXPECT_THROW((void)bursty_trace(4, 0, Duration::millis(1), small_shape(), 1), Error);
+  EXPECT_THROW((void)bursty_trace(4, 2, Duration::zero(), small_shape(), 1), Error);
+  RequestShape bad = small_shape();
+  bad.prompt_max = bad.prompt_min - 1;
+  EXPECT_THROW((void)closed_loop_trace(4, bad, 1), Error);
+}
+
+// --- Scheduler ----------------------------------------------------------------
+
+TEST(Scheduler, ConfigValidation) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = SchedulerConfig{};
+  cfg.fixed_batch = cfg.token_budget + 1;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(Scheduler, ContinuousAdmitsWithinBudget) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 100;
+  ContinuousBatchScheduler sched{cfg};
+  // Three requests with 40-token prompts: only two fit (40+40+2 <= 100).
+  sched.submit({{0, Duration::zero(), 40, 4},
+                {1, Duration::zero(), 40, 4},
+                {2, Duration::zero(), 40, 4}});
+  sched.release_arrivals(Duration::zero());
+  EXPECT_EQ(sched.admit().size(), 2u);
+  EXPECT_EQ(sched.active().size(), 2u);
+  // The third waits until slots free up; with two active decode slots,
+  // 40 + 2 + 1 <= 100 fits on the next boundary.
+  EXPECT_EQ(sched.admit().size(), 1u);
+}
+
+TEST(Scheduler, OversizedPromptAdmittedAloneOnEmptyServer) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 32;
+  cfg.fixed_batch = 1;
+  ContinuousBatchScheduler sched{cfg};
+  sched.submit({{0, Duration::zero(), 100, 2}, {1, Duration::zero(), 8, 2}});
+  sched.release_arrivals(Duration::zero());
+  const auto first = sched.admit();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0]->request.prompt_len, 100);
+  EXPECT_EQ(sched.active().size(), 1u);
+}
+
+TEST(Scheduler, FixedWaitsForFullBatch) {
+  SchedulerConfig cfg;
+  cfg.mode = BatchingMode::kFixed;
+  cfg.fixed_batch = 2;
+  ContinuousBatchScheduler sched{cfg};
+  sched.submit({{0, Duration::zero(), 8, 2}, {1, Duration::millis(5), 8, 2}});
+  sched.release_arrivals(Duration::zero());
+  EXPECT_TRUE(sched.admit().empty());  // waits: a second arrival is still due
+  EXPECT_DOUBLE_EQ(sched.next_arrival().ms(), 5.0);
+  sched.release_arrivals(Duration::millis(5));
+  EXPECT_EQ(sched.admit().size(), 2u);
+}
+
+TEST(Scheduler, MergedStepWorksConserveRoutedTokens) {
+  auto engine = make_engine(core::StrategyKind::kMondeAmove);
+  SchedulerConfig cfg;
+  ContinuousBatchScheduler sched{cfg};
+  sched.submit({{0, Duration::zero(), 8, 4}, {1, Duration::zero(), 8, 4}});
+  sched.release_arrivals(Duration::zero());
+  ASSERT_EQ(sched.admit().size(), 2u);
+  const auto works = sched.step_works(engine.workload());
+  ASSERT_EQ(works.size(), 2u);  // tiny model: 2 decoder MoE layers
+  for (const auto& w : works) {
+    EXPECT_EQ(w.total_tokens, 2);
+    EXPECT_EQ(w.routed_tokens(), 2u * 2u);  // 2 requests x top-2
+  }
+}
+
+// --- ServerSim ----------------------------------------------------------------
+
+TEST(ServerSim, ContinuousBeatsFixedOnPoissonTrace) {
+  const auto trace = test_trace();
+  SchedulerConfig cfg;
+  cfg.token_budget = 128;
+  cfg.fixed_batch = 4;
+
+  cfg.mode = BatchingMode::kFixed;
+  auto fixed_engine = make_engine(core::StrategyKind::kMondeLoadBalanced);
+  const ServeReport fixed = ServerSim{fixed_engine, cfg}.run(trace);
+
+  cfg.mode = BatchingMode::kContinuous;
+  auto cont_engine = make_engine(core::StrategyKind::kMondeLoadBalanced);
+  const ServeReport cont = ServerSim{cont_engine, cfg}.run(trace);
+
+  EXPECT_EQ(fixed.generated_tokens, cont.generated_tokens);  // same useful work
+  EXPECT_GT(cont.tokens_per_s, fixed.tokens_per_s);          // strictly faster
+  EXPECT_LT(cont.ttft_ms.p99, fixed.ttft_ms.p99);            // no batch-fill wait
+}
+
+TEST(ServerSim, PerRequestLatenciesDeterministicGivenSeed) {
+  const auto trace = test_trace();
+  SchedulerConfig cfg;
+  const auto run_once = [&] {
+    auto engine = make_engine(core::StrategyKind::kMondeLoadBalanced, 7);
+    return ServerSim{engine, cfg}.run(trace);
+  };
+  const ServeReport a = run_once();
+  const ServeReport b = run_once();
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].id, b.requests[i].id);
+    EXPECT_DOUBLE_EQ(a.requests[i].ttft().ns(), b.requests[i].ttft().ns());
+    EXPECT_DOUBLE_EQ(a.requests[i].tpot().ns(), b.requests[i].tpot().ns());
+    EXPECT_DOUBLE_EQ(a.requests[i].e2e().ns(), b.requests[i].e2e().ns());
+  }
+  EXPECT_DOUBLE_EQ(a.makespan.ns(), b.makespan.ns());
+}
+
+TEST(ServerSim, RespectsTokenBudgetEveryStep) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 96;  // tight: forces queueing on this trace
+  auto engine = make_engine(core::StrategyKind::kMondeAmove);
+  const ServeReport rep = ServerSim{engine, cfg}.run(test_trace());
+  ASSERT_FALSE(rep.steps.empty());
+  for (const auto& step : rep.steps) {
+    EXPECT_LE(step.prefill_tokens + step.decode_tokens, cfg.token_budget)
+        << "step " << step.index;
+    EXPECT_GE(step.end, step.start);
+  }
+}
+
+TEST(ServerSim, EveryRequestCompletesWithConsistentMetrics) {
+  SchedulerConfig cfg;
+  auto engine = make_engine(core::StrategyKind::kMondeLoadBalanced);
+  const auto trace = test_trace();
+  const ServeReport rep = ServerSim{engine, cfg}.run(trace);
+  ASSERT_EQ(rep.requests.size(), trace.size());
+  std::uint64_t expected_tokens = 0;
+  for (const auto& rq : trace) expected_tokens += static_cast<std::uint64_t>(rq.max_new_tokens);
+  EXPECT_EQ(rep.generated_tokens, expected_tokens);
+  for (const auto& m : rep.requests) {
+    EXPECT_GE(m.admitted, m.arrival);
+    EXPECT_GT(m.first_token, m.admitted);
+    EXPECT_GE(m.completion, m.first_token);
+    EXPECT_LE(m.completion, rep.makespan);
+    EXPECT_GT(m.ttft(), Duration::zero());
+    EXPECT_LE(m.ttft(), m.e2e());
+  }
+  EXPECT_GT(rep.tokens_per_s, 0.0);
+  EXPECT_LE(rep.ttft_ms.p50, rep.ttft_ms.p95);
+  EXPECT_LE(rep.ttft_ms.p95, rep.ttft_ms.p99);
+}
+
+TEST(ServerSim, ClosedLoopSaturatesBudget) {
+  // With everything queued at t=0 and single-token decode slots, the
+  // scheduler should keep the decode batch near the token budget.
+  SchedulerConfig cfg;
+  cfg.token_budget = 64;
+  auto engine = make_engine(core::StrategyKind::kMondeAmove);
+  RequestShape shape = small_shape();
+  shape.prompt_min = shape.prompt_max = 16;
+  shape.new_tokens_min = shape.new_tokens_max = 6;
+  const ServeReport rep = ServerSim{engine, cfg}.run(closed_loop_trace(8, shape, 11));
+  std::int64_t peak = 0;
+  for (const auto& step : rep.steps) peak = std::max(peak, step.decode_tokens);
+  EXPECT_GE(peak, 3);  // multiple requests genuinely share steps
+  EXPECT_EQ(rep.requests.size(), 8u);
+}
+
+TEST(ServerSim, RejectsEmptyTrace) {
+  SchedulerConfig cfg;
+  auto engine = make_engine(core::StrategyKind::kMondeAmove);
+  ServerSim sim{engine, cfg};
+  EXPECT_THROW((void)sim.run({}), Error);
+}
+
+}  // namespace
+}  // namespace monde::serve
