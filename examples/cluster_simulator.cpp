@@ -1,0 +1,72 @@
+// Cluster serving walk-through: a heterogeneous MoNDE fleet behind a
+// load-aware dispatcher.
+//
+// Builds a four-replica cluster -- three MD+LB (MoNDE load-balanced)
+// servers plus one GPU+PM (on-demand PCIe fetch) server, as a fleet mixing
+// hardware generations might -- serves a bursty trace under
+// least-outstanding-tokens dispatch, and prints per-replica and fleet-wide
+// serving metrics. See README "Cluster serving" for the policy catalogue.
+//
+//   ./examples/cluster_simulator
+#include <cstdio>
+
+#include "serve/arrivals.hpp"
+#include "serve/cluster.hpp"
+
+int main() {
+  using namespace monde;
+
+  const core::SystemConfig sys = core::SystemConfig::dac24();
+  moe::MoeModelConfig model = moe::MoeModelConfig::switch_variant(768, 64);
+  model.encoder_blocks = 8;
+  model.decoder_blocks = 8;
+  model.moe_every = 2;
+
+  serve::SchedulerConfig cfg;
+  cfg.token_budget = 384;
+  // The GPU+PM replica models an older, smaller-memory node: on-demand
+  // expert fetch over PCIe and a quarter of the per-step token budget.
+  serve::SchedulerConfig weak = cfg;
+  weak.token_budget = 96;
+
+  // Heterogeneous fleet: replicas differ in expert-execution strategy,
+  // scheduler capacity, and routing seed; the platform and model are shared.
+  std::vector<serve::ReplicaSpec> specs;
+  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, /*seed=*/1});
+  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, /*seed=*/2});
+  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, /*seed=*/3});
+  specs.push_back({core::StrategyKind::kGpuPmove, weak, /*seed=*/4});
+  serve::ClusterSim cluster{sys, model, moe::SkewProfile::nllb_like(), specs};
+
+  serve::RequestShape shape;
+  shape.prompt_min = 64;
+  shape.prompt_max = 192;
+  shape.new_tokens_min = 8;
+  shape.new_tokens_max = 24;
+  const auto trace = serve::bursty_trace(32, /*burst_size=*/8, Duration::millis(40), shape,
+                                         /*seed=*/5);
+
+  const auto dispatcher = serve::make_dispatcher(serve::DispatchPolicy::kLeastOutstandingTokens);
+  const serve::ClusterReport rep = cluster.run(trace, *dispatcher);
+
+  std::printf("served %zu requests on %zu replicas under %s dispatch\n\n",
+              rep.requests.size(), rep.replicas.size(), rep.policy.c_str());
+  std::printf("  %-26s %9s %8s %10s %12s\n", "replica", "requests", "tok/s", "busy",
+              "utilization");
+  for (const serve::ReplicaReport& rr : rep.replicas) {
+    std::printf("  %-26s %9zu %8.1f %10s %11.1f%%\n", rr.name.c_str(), rr.dispatched,
+                rr.serve.tokens_per_s, rr.serve.busy.str().c_str(), 100.0 * rr.utilization);
+  }
+  std::printf("\nfleet: %llu tokens in %s -> %.1f tok/s (imbalance %.2fx)\n",
+              static_cast<unsigned long long>(rep.generated_tokens),
+              rep.makespan.str().c_str(), rep.tokens_per_s, rep.imbalance);
+  std::printf("TTFT ms p50/p95/p99: %.2f / %.2f / %.2f\n", rep.ttft_ms.p50, rep.ttft_ms.p95,
+              rep.ttft_ms.p99);
+  std::printf("E2E  ms p50/p95/p99: %.2f / %.2f / %.2f\n", rep.e2e_ms.p50, rep.e2e_ms.p95,
+              rep.e2e_ms.p99);
+  std::printf("\nThe dispatcher sees each replica's live queue at every arrival instant,\n"
+              "so the slower GPU+PM replica naturally receives fewer requests than the\n"
+              "MD+LB replicas -- the fleet analogue of the paper's per-node argument\n"
+              "that near-data expert execution frees serving capacity.\n");
+  return 0;
+}

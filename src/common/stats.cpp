@@ -34,7 +34,9 @@ Histogram::Histogram(std::vector<double> upper_bounds) : bounds_{std::move(upper
 }
 
 void Histogram::add(double value, double weight) {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  // Half-open buckets: the first bound strictly greater than `value` names
+  // the bucket, so bucket i covers [bounds[i-1], bounds[i]).
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
   counts_[idx] += weight;
   total_ += weight;
@@ -49,15 +51,23 @@ std::string Histogram::bucket_label(std::size_t i) const {
   MONDE_REQUIRE(i < counts_.size(), "histogram bucket out of range");
   char buf[64];
   if (i == counts_.size() - 1) {
-    std::snprintf(buf, sizeof(buf), "%.0f+", bounds_.back() + 1.0);
+    std::snprintf(buf, sizeof(buf), "%g+", bounds_.back());
     return buf;
   }
+  const double lo = (i == 0) ? 0.0 : bounds_[i - 1];
   const double hi = bounds_[i];
-  const double lo = (i == 0) ? 0.0 : bounds_[i - 1] + 1.0;
-  if (lo == hi) {
-    std::snprintf(buf, sizeof(buf), "%.0f", hi);
+  // Integral bounds describe count data; [lo, hi) over the integers is the
+  // inclusive range lo..hi-1, the paper's Figure-3 style. Fractional bounds
+  // print as the half-open interval itself.
+  const bool integral = std::floor(lo) == lo && std::floor(hi) == hi;
+  if (integral && hi - 1.0 >= lo) {
+    if (hi - 1.0 == lo) {
+      std::snprintf(buf, sizeof(buf), "%g", lo);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%g-%g", lo, hi - 1.0);
+    }
   } else {
-    std::snprintf(buf, sizeof(buf), "%.0f-%.0f", lo, hi);
+    std::snprintf(buf, sizeof(buf), "[%g, %g)", lo, hi);
   }
   return buf;
 }
@@ -68,7 +78,7 @@ void Histogram::scale(double k) {
 }
 
 Histogram make_token_histogram() {
-  return Histogram{{0.0, 3.0, 7.0, 15.0, 31.0, 63.0, 127.0}};
+  return Histogram{{1.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0}};
 }
 
 namespace {
@@ -96,6 +106,24 @@ Percentiles compute_percentiles(std::vector<double> values) {
   std::sort(values.begin(), values.end());
   return {sorted_percentile(values, 50.0), sorted_percentile(values, 95.0),
           sorted_percentile(values, 99.0)};
+}
+
+double mean(const std::vector<double>& values) {
+  MONDE_REQUIRE(!values.empty(), "mean of empty set");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double imbalance_factor(const std::vector<double>& values) {
+  MONDE_REQUIRE(!values.empty(), "imbalance of empty set");
+  double mx = 0.0;
+  for (const double v : values) {
+    MONDE_REQUIRE(v >= 0.0, "imbalance requires non-negative values, got " << v);
+    mx = std::max(mx, v);
+  }
+  const double m = mean(values);
+  return m == 0.0 ? 0.0 : mx / m;
 }
 
 double geomean(const std::vector<double>& values) {

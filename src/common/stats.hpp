@@ -31,11 +31,12 @@ class RunningStat {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Histogram over explicit, strictly-increasing bucket upper bounds.
-///
-/// A value `v` lands in the first bucket whose upper bound is >= v; values
-/// above the last bound land in the overflow bucket. This matches the
-/// bucketing the paper uses in Figure 3 (0, 1-3, 4-7, ..., 128+).
+/// Histogram over explicit, strictly-increasing bucket upper bounds, with
+/// half-open buckets: bucket `i` covers [bounds[i-1], bounds[i]) (the first
+/// bucket is unbounded below; values are normally non-negative), and values
+/// at or above the last bound land in the overflow bucket. This supports
+/// both the paper's integer token-count buckets (Figure 3: 0, 1-3, 4-7,
+/// ..., 128+) and fractional bounds such as latency-ms buckets.
 class Histogram {
  public:
   /// `upper_bounds` must be strictly increasing and non-empty.
@@ -46,7 +47,9 @@ class Histogram {
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
   /// Weighted count in bucket `i` (last bucket is overflow).
   [[nodiscard]] double bucket(std::size_t i) const;
-  /// Label such as "[0]", "[1-3]", "128+" derived from the bounds (integer style).
+  /// Human-readable bucket interval. Integral bounds render in the paper's
+  /// inclusive style ("0", "1-3", "128+"); fractional bounds render as the
+  /// half-open interval itself ("[0.5, 2.5)", "2.5+").
   [[nodiscard]] std::string bucket_label(std::size_t i) const;
   [[nodiscard]] double total() const { return total_; }
 
@@ -65,6 +68,15 @@ class Histogram {
 
 /// Geometric mean of a set of strictly positive values.
 [[nodiscard]] double geomean(const std::vector<double>& values);
+
+/// Arithmetic mean of a non-empty sample.
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+/// Fleet-load imbalance: max over mean of a non-empty, non-negative sample
+/// (per-replica busy times, dispatched counts, ...). 1.0 means perfectly
+/// balanced; N means one of N replicas did all the work. Zero for an
+/// all-zero sample (an idle fleet).
+[[nodiscard]] double imbalance_factor(const std::vector<double>& values);
 
 /// The q-th percentile (q in [0, 100]) of a non-empty sample, using linear
 /// interpolation between closest ranks (the common "R-7" / NumPy default).

@@ -1,0 +1,100 @@
+#include "serve/cluster.hpp"
+
+#include <algorithm>
+
+#include "ndp/ndp_core.hpp"
+
+namespace monde::serve {
+
+std::vector<ReplicaSpec> uniform_fleet(std::size_t n, core::StrategyKind strategy,
+                                       SchedulerConfig sched, std::uint64_t seed0) {
+  MONDE_REQUIRE(n > 0, "a fleet needs at least one replica");
+  std::vector<ReplicaSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs.push_back(ReplicaSpec{strategy, sched, seed0 + i});
+  }
+  return specs;
+}
+
+ClusterSim::ClusterSim(const core::SystemConfig& sys, const moe::MoeModelConfig& model,
+                       const moe::SkewProfile& profile,
+                       const std::vector<ReplicaSpec>& specs) {
+  MONDE_REQUIRE(!specs.empty(), "cluster needs at least one replica");
+  // All replicas run the same platform, so one NdpCoreSim serves the whole
+  // fleet and expert-shape latencies memoize across replicas (the sharing
+  // is timing-neutral; see test_fastpath_diff).
+  auto shared_sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+  replicas_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Replica r;
+    r.engine = std::make_unique<core::InferenceEngine>(sys, model, profile,
+                                                       specs[i].strategy, specs[i].seed,
+                                                       shared_sim);
+    r.server = std::make_unique<ServerSim>(*r.engine, specs[i].sched);
+    r.name = "replica" + std::to_string(i) + " (" + r.engine->strategy().name() + ")";
+    replicas_.push_back(std::move(r));
+  }
+}
+
+ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher) {
+  MONDE_REQUIRE(!used_, "ClusterSim::run() may be called only once");
+  MONDE_REQUIRE(!trace.empty(), "cannot serve an empty trace");
+  used_ = true;
+  std::stable_sort(trace.begin(), trace.end(), arrival_order<Request>);
+
+  // Dispatch loop: bring every replica up to the arrival instant, snapshot
+  // their live load, let the policy pick, hand over the request.
+  std::vector<ReplicaSnapshot> snapshots(replicas_.size());
+  for (const Request& rq : trace) {
+    for (Replica& r : replicas_) r.server->advance_to(rq.arrival);
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      snapshots[i] = ReplicaSnapshot{i, replicas_[i].server->in_flight(),
+                                     replicas_[i].server->outstanding_tokens()};
+    }
+    const std::size_t pick = dispatcher.pick(snapshots);
+    MONDE_REQUIRE(pick < replicas_.size(),
+                  "dispatcher picked replica " << pick << " of " << replicas_.size());
+    replicas_[pick].server->enqueue(rq);
+    ++replicas_[pick].dispatched;
+  }
+  // No further arrivals: replicas finish independently, so each can drain
+  // to completion on its own.
+  for (Replica& r : replicas_) r.server->drain();
+
+  ClusterReport rep;
+  rep.policy = dispatcher.name();
+  std::vector<double> busy_ms;
+  std::vector<double> ttft_ms, tpot_ms, e2e_ms;
+  rep.replicas.reserve(replicas_.size());
+  for (Replica& r : replicas_) {
+    ReplicaReport rr;
+    rr.name = r.name;
+    rr.serve = r.server->report();
+    rr.dispatched = r.dispatched;
+    rep.makespan = monde::max(rep.makespan, rr.serve.makespan);
+    rep.generated_tokens += rr.serve.generated_tokens;
+    busy_ms.push_back(rr.serve.busy.ms());
+    for (const RequestMetrics& m : rr.serve.requests) {
+      ttft_ms.push_back(m.ttft().ms());
+      if (m.generated > 1) tpot_ms.push_back(m.tpot().ms());
+      e2e_ms.push_back(m.e2e().ms());
+      rep.requests.push_back(m);
+    }
+    rep.replicas.push_back(std::move(rr));
+  }
+  std::stable_sort(rep.requests.begin(), rep.requests.end(), arrival_order<RequestMetrics>);
+  for (ReplicaReport& rr : rep.replicas) {
+    rr.utilization = rep.makespan > Duration::zero() ? rr.serve.busy / rep.makespan : 0.0;
+  }
+  rep.imbalance = imbalance_factor(busy_ms);
+  if (!ttft_ms.empty()) rep.ttft_ms = compute_percentiles(std::move(ttft_ms));
+  if (!tpot_ms.empty()) rep.tpot_ms = compute_percentiles(std::move(tpot_ms));
+  if (!e2e_ms.empty()) rep.e2e_ms = compute_percentiles(std::move(e2e_ms));
+  rep.tokens_per_s = rep.makespan > Duration::zero()
+                         ? static_cast<double>(rep.generated_tokens) / rep.makespan.sec()
+                         : 0.0;
+  return rep;
+}
+
+}  // namespace monde::serve

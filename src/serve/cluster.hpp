@@ -1,0 +1,98 @@
+// Multi-replica cluster serving: N replica servers behind one dispatcher.
+//
+// The paper argues MoNDE makes sparse-MoE serving cost-effective per node;
+// a production deployment then scales out by putting a fleet of such nodes
+// behind a load balancer. ClusterSim models exactly that: each replica is a
+// full ServerSim (its own InferenceEngine, expert-execution strategy,
+// scheduler, and routing seed -- replicas may be heterogeneous, e.g. some
+// MD+LB and some GPU+PM), and a pluggable Dispatcher (dispatch.hpp) routes
+// every request at its arrival instant against the replicas' live queue
+// state. Replicas are interleaved in simulated time through ServerSim's
+// incremental event API: before each dispatch decision every replica is
+// advanced to the arrival instant, so completions up to that point are
+// reflected in the snapshots the policy sees.
+//
+// The report carries both per-replica ServeReports and fleet-wide
+// aggregates: latency percentiles over the union of all requests, total
+// tokens/s over the fleet makespan, per-replica utilization, and a
+// max-over-mean busy-time imbalance factor (1.0 = perfectly balanced).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/dispatch.hpp"
+#include "serve/server.hpp"
+
+namespace monde::serve {
+
+/// What distinguishes one replica from another. The platform (SystemConfig),
+/// model, and skew profile are cluster-wide; strategy, scheduler, and the
+/// routing seed are per replica.
+struct ReplicaSpec {
+  core::StrategyKind strategy = core::StrategyKind::kMondeLoadBalanced;
+  SchedulerConfig sched;
+  std::uint64_t seed = 42;  ///< workload-routing seed; give replicas distinct seeds
+};
+
+/// Homogeneous fleet helper: `n` replicas of one strategy/scheduler with
+/// seeds seed0, seed0+1, ... (distinct seeds decorrelate the replicas'
+/// routing draws, as distinct traffic would).
+[[nodiscard]] std::vector<ReplicaSpec> uniform_fleet(std::size_t n,
+                                                     core::StrategyKind strategy,
+                                                     SchedulerConfig sched,
+                                                     std::uint64_t seed0 = 1);
+
+/// One replica's slice of a cluster run.
+struct ReplicaReport {
+  std::string name;  ///< "replica<i> (<strategy>)"
+  ServeReport serve;
+  std::size_t dispatched = 0;  ///< requests this replica received
+  double utilization = 0.0;    ///< busy time / fleet makespan
+};
+
+/// Everything one cluster run produced.
+struct ClusterReport {
+  std::string policy;
+  std::vector<ReplicaReport> replicas;
+  /// Fleet-wide union of every replica's per-request metrics, in
+  /// (arrival, id) order. Exactly a permutation of the input trace.
+  std::vector<RequestMetrics> requests;
+  Duration makespan = Duration::zero();  ///< latest replica completion
+  std::uint64_t generated_tokens = 0;
+  double tokens_per_s = 0.0;
+  Percentiles ttft_ms;
+  Percentiles tpot_ms;  ///< all-zero when no request generated > 1 token
+  Percentiles e2e_ms;
+  /// Max-over-mean of per-replica busy time: 1.0 = perfectly balanced.
+  double imbalance = 0.0;
+};
+
+/// A fleet of replica servers interleaved in simulated time.
+class ClusterSim {
+ public:
+  ClusterSim(const core::SystemConfig& sys, const moe::MoeModelConfig& model,
+             const moe::SkewProfile& profile, const std::vector<ReplicaSpec>& specs);
+
+  [[nodiscard]] std::size_t size() const { return replicas_.size(); }
+
+  /// Serve `trace` (sorted by (arrival, id) internally), dispatching each
+  /// request at its arrival instant via `dispatcher`. Call once.
+  [[nodiscard]] ClusterReport run(std::vector<Request> trace, Dispatcher& dispatcher);
+
+ private:
+  struct Replica {
+    std::string name;
+    std::unique_ptr<core::InferenceEngine> engine;
+    std::unique_ptr<ServerSim> server;
+    std::size_t dispatched = 0;
+  };
+
+  std::vector<Replica> replicas_;
+  bool used_ = false;
+};
+
+}  // namespace monde::serve

@@ -1,0 +1,108 @@
+#include "serve/dispatch.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace monde::serve {
+namespace {
+
+/// Index of the snapshot minimizing `load`, lowest replica index on ties.
+template <typename LoadFn>
+std::size_t argmin_load(const std::vector<ReplicaSnapshot>& snapshots, LoadFn load) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    if (load(snapshots[i]) < load(snapshots[best])) best = i;
+  }
+  return best;
+}
+
+class RoundRobinDispatcher final : public Dispatcher {
+ public:
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    return next_++ % snapshots.size();
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class JoinShortestQueueDispatcher final : public Dispatcher {
+ public:
+  [[nodiscard]] std::string name() const override { return "join-shortest-queue"; }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    return argmin_load(snapshots, [](const ReplicaSnapshot& s) { return s.in_flight; });
+  }
+};
+
+class LeastOutstandingTokensDispatcher final : public Dispatcher {
+ public:
+  [[nodiscard]] std::string name() const override { return "least-outstanding-tokens"; }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    return argmin_load(snapshots,
+                       [](const ReplicaSnapshot& s) { return s.outstanding_tokens; });
+  }
+};
+
+class PowerOfTwoChoicesDispatcher final : public Dispatcher {
+ public:
+  explicit PowerOfTwoChoicesDispatcher(std::uint64_t seed) : rng_{seed} {}
+
+  [[nodiscard]] std::string name() const override { return "power-of-two"; }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    const std::size_t n = snapshots.size();
+    if (n == 1) return 0;
+    // Two distinct uniform probes; keep the shorter queue (lower index wins
+    // ties so the choice is deterministic).
+    std::size_t a = static_cast<std::size_t>(rng_.next_below(n));
+    std::size_t b = static_cast<std::size_t>(rng_.next_below(n - 1));
+    if (b >= a) ++b;
+    if (a > b) std::swap(a, b);
+    return snapshots[b].in_flight < snapshots[a].in_flight ? b : a;
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+std::string to_string(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin: return "round-robin";
+    case DispatchPolicy::kJoinShortestQueue: return "join-shortest-queue";
+    case DispatchPolicy::kLeastOutstandingTokens: return "least-outstanding-tokens";
+    case DispatchPolicy::kPowerOfTwoChoices: return "power-of-two";
+  }
+  MONDE_ASSERT(false, "unknown dispatch policy");
+  return {};
+}
+
+std::vector<DispatchPolicy> all_dispatch_policies() {
+  return {DispatchPolicy::kRoundRobin, DispatchPolicy::kJoinShortestQueue,
+          DispatchPolicy::kLeastOutstandingTokens, DispatchPolicy::kPowerOfTwoChoices};
+}
+
+std::unique_ptr<Dispatcher> make_dispatcher(DispatchPolicy policy, std::uint64_t seed) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin: return std::make_unique<RoundRobinDispatcher>();
+    case DispatchPolicy::kJoinShortestQueue:
+      return std::make_unique<JoinShortestQueueDispatcher>();
+    case DispatchPolicy::kLeastOutstandingTokens:
+      return std::make_unique<LeastOutstandingTokensDispatcher>();
+    case DispatchPolicy::kPowerOfTwoChoices:
+      return std::make_unique<PowerOfTwoChoicesDispatcher>(seed);
+  }
+  MONDE_ASSERT(false, "unknown dispatch policy");
+  return nullptr;
+}
+
+}  // namespace monde::serve

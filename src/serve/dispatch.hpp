@@ -1,0 +1,66 @@
+// Pluggable request-dispatch policies for the cluster simulator.
+//
+// A ClusterSim (cluster.hpp) fronts N replica servers with one dispatcher:
+// at every request's arrival instant the dispatcher sees a load snapshot of
+// each replica and picks where the request goes. Four classic policies:
+//
+//   * round-robin             -- rotate through replicas, load-oblivious;
+//     the baseline every load balancer starts from.
+//   * join-shortest-queue     -- send to the replica with the fewest
+//     accepted-but-unfinished requests; the canonical load-aware policy.
+//   * least-outstanding-tokens -- like JSQ but weighs each request by the
+//     tokens it still owes (un-prefilled prompt + remaining decode budget),
+//     so one long request counts for more than several short ones.
+//   * power-of-two-choices    -- sample two random replicas, keep the
+//     shorter queue; near-JSQ tail latency while probing O(1) replicas
+//     (Mitzenmacher's "power of two choices").
+//
+// Policies are deterministic given their seed; ties break toward the lowest
+// replica index.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace monde::serve {
+
+enum class DispatchPolicy {
+  kRoundRobin,
+  kJoinShortestQueue,
+  kLeastOutstandingTokens,
+  kPowerOfTwoChoices,
+};
+
+[[nodiscard]] std::string to_string(DispatchPolicy policy);
+
+/// All four policies, in enum order (for benches and tests that sweep them).
+[[nodiscard]] std::vector<DispatchPolicy> all_dispatch_policies();
+
+/// One replica's live load as the dispatcher sees it at a dispatch instant.
+struct ReplicaSnapshot {
+  std::size_t replica = 0;             ///< index into the cluster's replica list
+  std::size_t in_flight = 0;           ///< accepted, not yet finished requests
+  std::int64_t outstanding_tokens = 0; ///< un-prefilled prompt + remaining decode tokens
+};
+
+/// A dispatch policy. pick() is called once per request, in arrival order;
+/// implementations may carry state (rotation counter, RNG stream).
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Chooses the replica for the next request. `snapshots` holds one entry
+  /// per replica, in replica order; the returned index refers into it.
+  [[nodiscard]] virtual std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) = 0;
+};
+
+/// Builds a fresh dispatcher. `seed` feeds the randomized policies
+/// (power-of-two choices); everything is deterministic given it.
+[[nodiscard]] std::unique_ptr<Dispatcher> make_dispatcher(DispatchPolicy policy,
+                                                          std::uint64_t seed = 42);
+
+}  // namespace monde::serve

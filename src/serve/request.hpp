@@ -14,6 +14,16 @@
 
 namespace monde::serve {
 
+/// Canonical serving-trace order: by arrival time, request id breaking
+/// ties. Every layer that orders a trace -- scheduler submission, the
+/// scheduler's push() precondition, cluster dispatch, fleet aggregation --
+/// must agree on this one definition. Works for any record carrying
+/// `arrival` and `id` (Request, RequestMetrics).
+template <typename T>
+[[nodiscard]] bool arrival_order(const T& a, const T& b) {
+  return a.arrival != b.arrival ? a.arrival < b.arrival : a.id < b.id;
+}
+
 /// One inference request in a serving trace.
 struct Request {
   std::uint64_t id = 0;

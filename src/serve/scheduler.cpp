@@ -20,22 +20,33 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(SchedulerConfig cfg) : cfg_{c
   cfg_.validate();
 }
 
-void ContinuousBatchScheduler::submit(std::vector<Request> trace) {
-  MONDE_REQUIRE(states_.empty(), "submit() may be called only once");
-  MONDE_REQUIRE(!trace.empty(), "cannot serve an empty trace");
-  std::stable_sort(trace.begin(), trace.end(), [](const Request& a, const Request& b) {
-    return a.arrival != b.arrival ? a.arrival < b.arrival : a.id < b.id;
-  });
-  states_.reserve(trace.size());
-  for (Request& rq : trace) {
-    rq.validate();
-    states_.push_back(RequestState{rq});
+void ContinuousBatchScheduler::push(const Request& rq) {
+  MONDE_REQUIRE(!sealed_, "scheduler is sealed; no further requests accepted");
+  rq.validate();
+  if (!states_.empty()) {
+    const Request& last = states_.back().request;
+    MONDE_REQUIRE(arrival_order(last, rq),
+                  "requests must be pushed in (arrival, id) order: request "
+                      << rq.id << " after request " << last.id);
   }
+  states_.push_back(RequestState{rq});
+  ++live_;
+  owed_tokens_ += rq.prompt_len + rq.max_new_tokens;
 }
 
-bool ContinuousBatchScheduler::finished() const {
-  return next_pending_ == states_.size() && queued_.empty() && active_.empty() &&
-         !states_.empty();
+void ContinuousBatchScheduler::seal() { sealed_ = true; }
+
+void ContinuousBatchScheduler::submit(std::vector<Request> trace) {
+  MONDE_REQUIRE(states_.empty() && !sealed_, "submit() needs a fresh scheduler");
+  MONDE_REQUIRE(!trace.empty(), "cannot serve an empty trace");
+  std::stable_sort(trace.begin(), trace.end(), arrival_order<Request>);
+  states_.reserve(trace.size());
+  for (const Request& rq : trace) push(rq);
+  seal();
+}
+
+bool ContinuousBatchScheduler::drained() const {
+  return next_pending_ == states_.size() && queued_.empty() && active_.empty();
 }
 
 Duration ContinuousBatchScheduler::next_arrival() const {
@@ -54,24 +65,28 @@ std::vector<RequestState*> ContinuousBatchScheduler::admit() {
   std::vector<RequestState*> newly;
   if (cfg_.mode == BatchingMode::kFixed) {
     // A new batch forms only on an empty server, and waits for a full batch
-    // while more arrivals are still due (the classic batching delay).
+    // while more arrivals are still due (the classic batching delay). An
+    // unsealed scheduler may always receive more arrivals.
     if (!active_.empty() || queued_.empty()) return newly;
     if (static_cast<std::int64_t>(queued_.size()) < cfg_.fixed_batch &&
-        next_pending_ < states_.size()) {
+        (next_pending_ < states_.size() || !sealed_)) {
       return newly;
     }
     const std::size_t take =
         std::min(queued_.size(), static_cast<std::size_t>(cfg_.fixed_batch));
     for (std::size_t i = 0; i < take; ++i) {
-      active_.push_back(queued_[i]);
-      newly.push_back(&states_[queued_[i]]);
+      active_.push_back(queued_.front());
+      newly.push_back(&states_[queued_.front()]);
+      owed_tokens_ -= states_[queued_.front()].request.prompt_len;  // prefilled this step
+      queued_.pop_front();
     }
-    queued_.erase(queued_.begin(), queued_.begin() + static_cast<std::ptrdiff_t>(take));
     return newly;
   }
 
   // Continuous: admit while this step's tokens (prefills admitted now + one
-  // decode token per slot after admission) stay within the budget.
+  // decode token per slot after admission) stay within the budget. The FIFO
+  // head pops in O(1), so a burst of arrivals admits in O(batch), not
+  // O(queue^2) as a vector-head erase would.
   std::int64_t prefill_tokens = 0;
   while (!queued_.empty()) {
     const std::size_t idx = queued_.front();
@@ -83,13 +98,22 @@ std::vector<RequestState*> ContinuousBatchScheduler::admit() {
     const bool oversized_alone = active_.empty() && newly.empty() &&
                                  prompt + 1 > cfg_.token_budget;
     if (!fits && !oversized_alone) break;
-    queued_.erase(queued_.begin());
+    queued_.pop_front();
     active_.push_back(idx);
     newly.push_back(&states_[idx]);
+    owed_tokens_ -= prompt;  // prefilled this step
     prefill_tokens += prompt;
     if (oversized_alone) break;
   }
   return newly;
+}
+
+bool ContinuousBatchScheduler::step_ready() const {
+  if (!active_.empty()) return true;
+  if (queued_.empty()) return false;
+  if (cfg_.mode != BatchingMode::kFixed) return true;
+  return static_cast<std::int64_t>(queued_.size()) >= cfg_.fixed_batch ||
+         (next_pending_ == states_.size() && sealed_);
 }
 
 std::vector<core::DecodeSlot> ContinuousBatchScheduler::slots() const {
@@ -97,7 +121,7 @@ std::vector<core::DecodeSlot> ContinuousBatchScheduler::slots() const {
   out.reserve(active_.size());
   for (const std::size_t idx : active_) {
     const RequestState& rs = states_[idx];
-    out.push_back({rs.request.id, rs.step, rs.request.prompt_len});
+    out.push_back({rs.request.id, rs.generated, rs.request.prompt_len});
   }
   return out;
 }
@@ -109,7 +133,7 @@ std::vector<moe::MoeLayerWork> ContinuousBatchScheduler::step_works(
   draws.reserve(active_.size());
   for (const std::size_t idx : active_) {
     const RequestState& rs = states_[idx];
-    draws.push_back(gen.decoder_step_for(rs.request.id, rs.step));
+    draws.push_back(gen.decoder_step_for(rs.request.id, rs.generated));
   }
   return moe::WorkloadGenerator::merge_layer_works(draws);
 }
@@ -118,14 +142,16 @@ void ContinuousBatchScheduler::complete_step(Duration end) {
   bool all_done = true;
   for (const std::size_t idx : active_) {
     RequestState& rs = states_[idx];
-    ++rs.step;
-    if (!rs.done) {
-      ++rs.generated;
-      if (rs.generated == 1) rs.first_token = end;
-      if (rs.generated == rs.request.max_new_tokens) {
-        rs.done = true;
-        rs.completion = end;
-      }
+    // A fixed-mode padded slot surfaced no token: its decode depth stays
+    // frozen at the final generated count (the KV cache stops growing).
+    if (rs.done) continue;
+    ++rs.generated;
+    --owed_tokens_;
+    if (rs.generated == 1) rs.first_token = end;
+    if (rs.generated == rs.request.max_new_tokens) {
+      rs.done = true;
+      rs.completion = end;
+      --live_;
     }
     all_done = all_done && rs.done;
   }

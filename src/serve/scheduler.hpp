@@ -13,6 +13,12 @@
 //     and finished requests keep occupying padded slots until the whole
 //     batch completes.
 //
+// Requests enter either all at once (submit(), the one-shot trace path) or
+// incrementally (push(), the path a cluster dispatcher drives); seal()
+// declares that no further requests will arrive, which is what lets the
+// fixed-mode batch-fill wait distinguish "more arrivals are due" from "the
+// trace is exhausted".
+//
 // The scheduler also merges the per-request, step-indexed gating draws from
 // moe::WorkloadGenerator into the per-layer MoeLayerWork a shared decode
 // step executes, which is what makes per-request routing (and therefore
@@ -20,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -50,11 +57,12 @@ struct SchedulerConfig {
   void validate() const;
 };
 
-/// A request plus its serving-lifecycle bookkeeping.
+/// A request plus its serving-lifecycle bookkeeping. The request's decode
+/// depth IS its generated count: padded fixed-mode slots surface no tokens
+/// and so stay frozen at their final depth.
 struct RequestState {
   Request request;
-  std::int64_t generated = 0;  ///< useful tokens produced so far
-  std::int64_t step = 0;       ///< decode depth (includes fixed-mode padded steps)
+  std::int64_t generated = 0;  ///< useful tokens produced so far (= decode depth)
   bool done = false;
   Duration admitted = Duration::zero();
   Duration first_token = Duration::zero();
@@ -66,10 +74,21 @@ class ContinuousBatchScheduler {
  public:
   explicit ContinuousBatchScheduler(SchedulerConfig cfg);
 
-  /// Load the trace (any order; sorted by arrival internally). Call once.
+  /// Append one request. Pushes must come in (arrival, id) order -- the
+  /// order a trace replay or a cluster dispatcher naturally produces.
+  void push(const Request& rq);
+
+  /// Declare that no further push() will happen. Fixed-mode admission may
+  /// then stop holding under-full batches for arrivals that never come.
+  void seal();
+
+  /// Load a whole trace (any order; sorted by (arrival, id) internally) and
+  /// seal it. Call once, on a fresh scheduler, instead of push()/seal().
   void submit(std::vector<Request> trace);
 
-  [[nodiscard]] bool finished() const;
+  /// Every accepted request has been fully served (vacuously true when no
+  /// request was ever pushed).
+  [[nodiscard]] bool drained() const;
 
   /// Arrival time of the next not-yet-released request (infinite if none).
   [[nodiscard]] Duration next_arrival() const;
@@ -85,7 +104,28 @@ class ContinuousBatchScheduler {
   [[nodiscard]] const std::vector<std::size_t>& active() const { return active_; }
   [[nodiscard]] const std::vector<RequestState>& states() const { return states_; }
 
+  /// Arrived requests awaiting admission.
+  [[nodiscard]] std::size_t queued_count() const { return queued_.size(); }
+
+  /// Would a step run right now? True when a batch is in flight, or when
+  /// admit() would accept at least one queued request (fixed mode holds an
+  /// under-full batch while more arrivals may come; continuous admission
+  /// always accepts a non-empty queue on an idle server).
+  [[nodiscard]] bool step_ready() const;
+
+  /// Accepted-but-unfinished requests (pending + queued + active non-done
+  /// slots): the queue-depth signal a cluster dispatcher balances on.
+  /// O(1) -- a dispatcher snapshots every replica at every arrival.
+  [[nodiscard]] std::size_t in_flight() const { return live_; }
+
+  /// Tokens of work still owed to accepted requests: un-prefilled prompt
+  /// tokens plus the remaining decode budget. The size-aware load signal.
+  /// O(1), maintained across push/admit/complete_step.
+  [[nodiscard]] std::int64_t outstanding_tokens() const { return owed_tokens_; }
+
   /// One DecodeSlot per active request (its id, depth, and prompt context).
+  /// In fixed mode a finished request keeps its padded slot at its final
+  /// depth until the whole batch drains (its KV cache stops growing).
   [[nodiscard]] std::vector<core::DecodeSlot> slots() const;
 
   /// Per-request gating draws for the upcoming step, merged across the
@@ -99,10 +139,13 @@ class ContinuousBatchScheduler {
 
  private:
   SchedulerConfig cfg_;
-  std::vector<RequestState> states_;  ///< sorted by (arrival, id); stable storage
+  std::vector<RequestState> states_;  ///< in (arrival, id) order; stable storage
   std::size_t next_pending_ = 0;      ///< states_[next_pending_..) not yet arrived
-  std::vector<std::size_t> queued_;   ///< arrived, awaiting admission (FIFO)
+  std::deque<std::size_t> queued_;    ///< arrived, awaiting admission (FIFO)
   std::vector<std::size_t> active_;   ///< in the decode batch
+  bool sealed_ = false;               ///< no further push() calls
+  std::size_t live_ = 0;              ///< accepted, not yet done
+  std::int64_t owed_tokens_ = 0;      ///< un-prefilled prompt + remaining decode
 };
 
 }  // namespace monde::serve

@@ -3,53 +3,86 @@
 namespace monde::serve {
 
 ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg)
-    : engine_{engine}, cfg_{cfg} {
+    : engine_{engine}, cfg_{cfg}, sched_{cfg}, st_{engine.make_state()} {
   cfg_.validate();
 }
 
-ServeReport ServerSim::run(std::vector<Request> trace) {
-  ContinuousBatchScheduler sched{cfg_};
-  sched.submit(std::move(trace));
+void ServerSim::enqueue(const Request& rq) { sched_.push(rq); }
 
-  core::EngineState st = engine_.make_state();
+void ServerSim::advance_to(Duration t) {
+  for (;;) {
+    // A step that would start at or after `t` belongs to a later call: the
+    // caller may still enqueue arrivals landing in [t, start). Equally, a
+    // step whose end sits at or after `t` keeps its completion deferred, so
+    // load snapshots taken at `t` see the mid-step queue state.
+    if (st_.now >= t) return;
+    apply_pending_completion();
+    sched_.release_arrivals(st_.now);
+    const std::vector<RequestState*> newly = sched_.admit();
+    if (newly.empty() && sched_.active().empty()) {
+      // Nothing runnable here: fast-forward to the next queued arrival (or
+      // hand control back and wait for enqueue()/drain()).
+      const Duration next = sched_.next_arrival();
+      if (next >= t) return;
+      st_.now = monde::max(st_.now, next);
+      continue;
+    }
+    step(newly);
+  }
+}
+
+Duration ServerSim::next_event_time() const {
+  if (sched_.step_ready()) return st_.now;
+  return sched_.next_arrival();
+}
+
+void ServerSim::drain() {
+  sched_.seal();
+  advance_to(Duration::infinite());
+  apply_pending_completion();
+  MONDE_ASSERT(sched_.drained(), "drain() left requests unserved");
+}
+
+void ServerSim::apply_pending_completion() {
+  if (!completion_pending_) return;
+  completion_pending_ = false;
+  sched_.complete_step(pending_end_);
+}
+
+void ServerSim::step(const std::vector<RequestState*>& newly) {
+  StepRecord rec;
+  rec.index = static_cast<std::int64_t>(steps_.size());
+  rec.start = st_.now;
+  for (RequestState* rs : newly) {
+    rs->admitted = st_.now;
+    engine_.prefill(st_, 1, rs->request.prompt_len);
+    rec.prefill_tokens += rs->request.prompt_len;
+  }
+  // Newly admitted requests join this step's decode immediately, so a
+  // step's cost is its prefills plus one shared decode over all slots.
+  const std::vector<core::DecodeSlot> slots = sched_.slots();
+  const std::vector<moe::MoeLayerWork> works = sched_.step_works(engine_.workload());
+  const core::StepResult sr = engine_.decode_step(st_, slots, works);
+  // The step is priced now, but its scheduler effects land at sr.end: defer
+  // them so load queries between now and then see the mid-step state.
+  completion_pending_ = true;
+  pending_end_ = sr.end;
+  rec.decode_tokens = static_cast<std::int64_t>(slots.size());
+  rec.end = st_.now;
+  busy_ += rec.end - rec.start;
+  steps_.push_back(rec);
+}
+
+ServeReport ServerSim::report() const {
+  MONDE_REQUIRE(sched_.drained(), "report() before the server drained");
   ServeReport report;
   report.strategy = engine_.strategy().name();
   report.mode = to_string(cfg_.mode);
-
-  while (!sched.finished()) {
-    sched.release_arrivals(st.now);
-    const std::vector<RequestState*> newly = sched.admit();
-    if (newly.empty() && sched.active().empty()) {
-      // Nothing runnable: fast-forward to the next arrival (continuous) or
-      // to the arrival that completes a fixed batch.
-      const Duration next = sched.next_arrival();
-      MONDE_ASSERT(next < Duration::infinite(), "server idle with no future arrivals");
-      st.now = monde::max(st.now, next);
-      continue;
-    }
-
-    StepRecord rec;
-    rec.index = static_cast<std::int64_t>(report.steps.size());
-    rec.start = st.now;
-    for (RequestState* rs : newly) {
-      rs->admitted = st.now;
-      engine_.prefill(st, 1, rs->request.prompt_len);
-      rec.prefill_tokens += rs->request.prompt_len;
-    }
-    // Newly admitted requests join this step's decode immediately, so a
-    // step's cost is its prefills plus one shared decode over all slots.
-    const std::vector<core::DecodeSlot> slots = sched.slots();
-    const std::vector<moe::MoeLayerWork> works = sched.step_works(engine_.workload());
-    const core::StepResult sr = engine_.decode_step(st, slots, works);
-    sched.complete_step(sr.end);
-    rec.decode_tokens = static_cast<std::int64_t>(slots.size());
-    rec.end = st.now;
-    report.steps.push_back(rec);
-  }
-
-  report.makespan = st.now;
+  report.steps = steps_;
+  report.makespan = st_.now;
+  report.busy = busy_;
   std::vector<double> ttft_ms, tpot_ms, e2e_ms;
-  for (const RequestState& rs : sched.states()) {
+  for (const RequestState& rs : sched_.states()) {
     MONDE_ASSERT(rs.done, "request " << rs.request.id << " never completed");
     RequestMetrics m;
     m.id = rs.request.id;
@@ -65,14 +98,21 @@ ServeReport ServerSim::run(std::vector<Request> trace) {
     e2e_ms.push_back(m.e2e().ms());
     report.requests.push_back(m);
   }
-  report.ttft_ms = compute_percentiles(std::move(ttft_ms));
+  // A replica that never received a request legitimately reports nothing.
+  if (!ttft_ms.empty()) report.ttft_ms = compute_percentiles(std::move(ttft_ms));
   if (!tpot_ms.empty()) report.tpot_ms = compute_percentiles(std::move(tpot_ms));
-  report.e2e_ms = compute_percentiles(std::move(e2e_ms));
+  if (!e2e_ms.empty()) report.e2e_ms = compute_percentiles(std::move(e2e_ms));
   report.tokens_per_s = report.makespan > Duration::zero()
                             ? static_cast<double>(report.generated_tokens) /
                                   report.makespan.sec()
                             : 0.0;
   return report;
+}
+
+ServeReport ServerSim::run(std::vector<Request> trace) {
+  sched_.submit(std::move(trace));  // rejects a used server or an empty trace
+  drain();
+  return report();
 }
 
 }  // namespace monde::serve

@@ -1,11 +1,34 @@
 // The serving simulator: a request trace in, per-request latency and
 // aggregate throughput out.
 //
-// ServerSim drives the engine's step primitives under a batching scheduler:
-// it releases arrivals, admits requests (prefilling each on admission), runs
-// one shared decode step per iteration over the active batch, and fast-
-// forwards through idle gaps. Metric conventions (all measured from request
-// arrival):
+// ServerSim drives the engine's step primitives under a batching scheduler.
+// It exposes an incremental event API so a cluster of replicas can be
+// interleaved in simulated time by an outside driver (serve/cluster.hpp):
+//
+//   enqueue(rq)       hand the server one request (its arrival time is the
+//                     moment it lands in this server's queue);
+//   advance_to(t)     run every scheduler step that starts strictly before
+//                     t. A step that would start at or after t is deferred,
+//                     because the caller may still enqueue arrivals in the
+//                     gap; a step that starts before t runs to completion
+//                     even if it ends after t (steps are atomic).
+//   next_event_time() earliest time at which advance_to() would do work;
+//   drain()           declare the trace complete and run everything left;
+//   report()          per-request metrics + aggregates, after drain().
+//
+// The classic one-shot run(trace) is a thin wrapper: enqueue the sorted
+// trace, drain, report. Queue-state accessors (in_flight(),
+// outstanding_tokens()) expose the live load dispatch policies balance on;
+// note they reflect the last completed step boundary, which may sit up to
+// one step past the dispatcher's clock (steps are atomic).
+//
+// Steps execute eagerly (the engine prices the whole step when it starts)
+// but their scheduler effects -- token counts, completions, retirements --
+// are applied lazily, once the clock passes the step's end. A dispatcher
+// advancing the server to an instant that falls inside a step therefore
+// observes the queue as it stands mid-step, not the step's future outcome.
+//
+// Metric conventions (all measured from request arrival):
 //
 //   TTFT  time to first token  -- completion of the request's first decode
 //         step (this simulator models encoder-decoder stacks, so the first
@@ -61,6 +84,7 @@ struct ServeReport {
   std::vector<RequestMetrics> requests;
   std::vector<StepRecord> steps;
   Duration makespan = Duration::zero();
+  Duration busy = Duration::zero();  ///< sum of step spans (utilization numerator)
   std::uint64_t generated_tokens = 0;
   double tokens_per_s = 0.0;
   Percentiles ttft_ms;
@@ -75,13 +99,66 @@ class ServerSim {
  public:
   ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg);
 
-  /// Simulate the whole trace to completion. Deterministic given the
-  /// engine's seed and the trace.
+  // --- Incremental event API (what a cluster dispatcher drives) -----------
+
+  /// Hand the server one request; it joins the queue at `rq.arrival`
+  /// (dispatch is zero-latency). Requests must arrive in (arrival, id)
+  /// order and before drain().
+  void enqueue(const Request& rq);
+
+  /// Run every scheduler step that starts strictly before `t`; idle gaps
+  /// fast-forward through queued arrivals. See the file comment for the
+  /// strict-before contract.
+  void advance_to(Duration t);
+
+  /// Earliest time at which advance_to() can do work: the current boundary
+  /// when a step can run there (one in flight, or admission would fire),
+  /// else the next queued arrival, else infinite -- the server then waits
+  /// on enqueue()/drain() (e.g. a fixed-mode batch still filling). Because
+  /// advance_to() is strict-before, pass a time strictly greater than this
+  /// to run the work.
+  [[nodiscard]] Duration next_event_time() const;
+
+  /// No further enqueue(): finish every request still in the system.
+  void drain();
+
+  /// End of the last completed step (the server's simulated clock).
+  [[nodiscard]] Duration now() const { return st_.now; }
+  [[nodiscard]] bool drained() const { return sched_.drained(); }
+
+  /// Live load, for dispatch decisions (see ContinuousBatchScheduler).
+  /// Requests retired by a step still in flight at the last advance_to()
+  /// instant are still counted (their completion lies in the future).
+  [[nodiscard]] std::size_t in_flight() const { return sched_.in_flight(); }
+  [[nodiscard]] std::int64_t outstanding_tokens() const {
+    return sched_.outstanding_tokens();
+  }
+
+  /// Metrics for everything served so far. Requires drained().
+  [[nodiscard]] ServeReport report() const;
+
+  // --- One-shot entry point ------------------------------------------------
+
+  /// Simulate the whole trace to completion on a fresh server. Deterministic
+  /// given the engine's seed and the trace.
   [[nodiscard]] ServeReport run(std::vector<Request> trace);
 
  private:
+  /// Prefill `newly`, run one shared decode step, account it. The step's
+  /// scheduler completion is deferred until the clock passes its end.
+  void step(const std::vector<RequestState*>& newly);
+
+  /// Apply the deferred complete_step() of the last executed step.
+  void apply_pending_completion();
+
   core::InferenceEngine& engine_;
   SchedulerConfig cfg_;
+  ContinuousBatchScheduler sched_;
+  core::EngineState st_;
+  std::vector<StepRecord> steps_;
+  Duration busy_ = Duration::zero();
+  bool completion_pending_ = false;     ///< the last step's effects not yet applied
+  Duration pending_end_ = Duration::zero();
 };
 
 }  // namespace monde::serve

@@ -1,0 +1,82 @@
+// Unit tests for the GPU-resident ExpertCache: LRU eviction order under
+// interleaved access/insert, capacity-0 behaviour, and hit-rate accounting.
+#include <gtest/gtest.h>
+
+#include "core/expert_cache.hpp"
+
+namespace monde::core {
+namespace {
+
+ExpertId id(int layer, int expert) { return ExpertId{layer, expert}; }
+
+TEST(ExpertCache, EvictsLeastRecentlyUsedUnderInterleavedAccessAndInsert) {
+  ExpertCache cache{2};
+  cache.insert(id(0, 0));
+  cache.insert(id(0, 1));  // recency order (most recent first): 1, 0
+  EXPECT_TRUE(cache.access(id(0, 0)));  // refresh -> order: 0, 1
+  cache.insert(id(0, 2));               // evicts 1, the LRU
+  EXPECT_TRUE(cache.contains(id(0, 0)));
+  EXPECT_FALSE(cache.contains(id(0, 1)));
+  EXPECT_TRUE(cache.contains(id(0, 2)));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Re-inserting a resident expert refreshes recency without evicting.
+  cache.insert(id(0, 0));  // order: 0, 2
+  EXPECT_EQ(cache.size(), 2u);
+  cache.insert(id(0, 3));  // evicts 2
+  EXPECT_TRUE(cache.contains(id(0, 0)));
+  EXPECT_FALSE(cache.contains(id(0, 2)));
+  EXPECT_TRUE(cache.contains(id(0, 3)));
+
+  // A missed access must not change recency: 3 is most recent, 0 is LRU.
+  EXPECT_FALSE(cache.access(id(1, 7)));
+  cache.insert(id(0, 4));  // evicts 0
+  EXPECT_FALSE(cache.contains(id(0, 0)));
+  EXPECT_TRUE(cache.contains(id(0, 3)));
+}
+
+TEST(ExpertCache, ExpertsOnDifferentLayersAreDistinct) {
+  ExpertCache cache{2};
+  cache.insert(id(0, 5));
+  cache.insert(id(1, 5));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.access(id(0, 5)));
+  EXPECT_TRUE(cache.access(id(1, 5)));
+}
+
+TEST(ExpertCache, CapacityZeroNeverCaches) {
+  ExpertCache cache{0};
+  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_FALSE(cache.access(id(0, 0)));
+  cache.insert(id(0, 0));  // no-op
+  EXPECT_FALSE(cache.contains(id(0, 0)));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.access(id(0, 0)));  // still a miss after insert
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+TEST(ExpertCache, HitRateAccounting) {
+  ExpertCache cache{4};
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);  // no accesses yet: defined as 0
+  EXPECT_FALSE(cache.access(id(0, 0)));     // miss
+  cache.insert(id(0, 0));
+  EXPECT_TRUE(cache.access(id(0, 0)));   // hit
+  EXPECT_TRUE(cache.access(id(0, 0)));   // hit
+  EXPECT_FALSE(cache.access(id(1, 0)));  // miss
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+
+  // clear() drops contents but keeps the lifetime counters.
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_FALSE(cache.access(id(0, 0)));  // contents really gone
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+}  // namespace
+}  // namespace monde::core

@@ -214,19 +214,34 @@ TEST(RunningStat, EmptyIsSafe) {
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
 }
 
-TEST(Histogram, BucketingMatchesBounds) {
-  Histogram h{{0.0, 3.0, 7.0}};
-  h.add(0);    // bucket 0 (v <= 0)
-  h.add(1);    // bucket 1
+TEST(Histogram, BucketingIsHalfOpen) {
+  Histogram h{{1.0, 4.0, 8.0}};
+  h.add(0);    // bucket 0: [<, 1)
+  h.add(1);    // bucket 1: [1, 4)
   h.add(3);    // bucket 1
-  h.add(4);    // bucket 2
+  h.add(4);    // bucket 2: [4, 8)
   h.add(7);    // bucket 2
+  h.add(8);    // overflow: >= 8
   h.add(100);  // overflow
   EXPECT_DOUBLE_EQ(h.bucket(0), 1.0);
   EXPECT_DOUBLE_EQ(h.bucket(1), 2.0);
   EXPECT_DOUBLE_EQ(h.bucket(2), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket(3), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 7.0);
+}
+
+TEST(Histogram, FractionalBoundsBucketHalfOpen) {
+  // Latency-ms style buckets; a value on a bound belongs to the bucket above.
+  Histogram h{{0.5, 2.5, 10.0}};
+  h.add(0.49);  // bucket 0
+  h.add(0.5);   // bucket 1
+  h.add(2.49);  // bucket 1
+  h.add(2.5);   // bucket 2
+  h.add(10.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.bucket(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket(2), 1.0);
   EXPECT_DOUBLE_EQ(h.bucket(3), 1.0);
-  EXPECT_DOUBLE_EQ(h.total(), 6.0);
 }
 
 TEST(Histogram, LabelsMatchPaperFigure3) {
@@ -237,6 +252,20 @@ TEST(Histogram, LabelsMatchPaperFigure3) {
   EXPECT_EQ(h.bucket_label(2), "4-7");
   EXPECT_EQ(h.bucket_label(6), "64-127");
   EXPECT_EQ(h.bucket_label(7), "128+");
+}
+
+TEST(Histogram, FractionalBoundsLabelAsIntervals) {
+  // Regression: the old labels assumed integer width->=1 bounds and printed
+  // overlapping ranges like "1-2" / "1-2" for fractional bounds.
+  Histogram h{{0.5, 2.5}};
+  EXPECT_EQ(h.bucket_label(0), "[0, 0.5)");
+  EXPECT_EQ(h.bucket_label(1), "[0.5, 2.5)");
+  EXPECT_EQ(h.bucket_label(2), "2.5+");
+  // Integral bounds of width 1 still collapse to a single count label.
+  Histogram g{{1.0, 2.0}};
+  EXPECT_EQ(g.bucket_label(0), "0");
+  EXPECT_EQ(g.bucket_label(1), "1");
+  EXPECT_EQ(g.bucket_label(2), "2+");
 }
 
 TEST(Histogram, ScaleDividesCounts) {
@@ -285,6 +314,20 @@ TEST(Stats, Geomean) {
   EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
   EXPECT_THROW((void)geomean({}), Error);
   EXPECT_THROW((void)geomean({1.0, -1.0}), Error);
+}
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_THROW((void)mean({}), Error);
+}
+
+TEST(Stats, ImbalanceFactor) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({3.0, 3.0, 3.0}), 1.0);  // balanced
+  EXPECT_DOUBLE_EQ(imbalance_factor({6.0, 0.0, 0.0}), 3.0);  // one does it all
+  EXPECT_DOUBLE_EQ(imbalance_factor({0.0, 0.0}), 0.0);       // idle fleet
+  EXPECT_THROW((void)imbalance_factor({}), Error);
+  EXPECT_THROW((void)imbalance_factor({1.0, -1.0}), Error);
 }
 
 // --- Table -----------------------------------------------------------------------

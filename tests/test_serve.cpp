@@ -2,6 +2,7 @@
 // continuous-batch scheduler, and the end-to-end server simulator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "common/error.hpp"
@@ -181,7 +182,146 @@ TEST(Scheduler, MergedStepWorksConserveRoutedTokens) {
   }
 }
 
+TEST(Scheduler, BurstAdmissionDrainsFifoWithinBudget) {
+  // Regression for the O(n^2) vector-head erase in admit(): an arrival flood
+  // must admit strictly in FIFO order and within the token budget every step.
+  SchedulerConfig cfg;
+  cfg.token_budget = 64;
+  ContinuousBatchScheduler sched{cfg};
+  std::vector<Request> trace;
+  const int n = 2000;
+  trace.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    trace.push_back({static_cast<std::uint64_t>(i), Duration::zero(), 4, 2});
+  }
+  sched.submit(std::move(trace));
+  sched.release_arrivals(Duration::zero());
+  std::uint64_t next_expected = 0;
+  Duration t = Duration::zero();
+  while (!sched.drained()) {
+    const auto newly = sched.admit();
+    std::int64_t prefill = 0;
+    for (const RequestState* rs : newly) {
+      EXPECT_EQ(rs->request.id, next_expected++);
+      prefill += rs->request.prompt_len;
+    }
+    EXPECT_LE(prefill + static_cast<std::int64_t>(sched.active().size()), cfg.token_budget);
+    ASSERT_FALSE(sched.active().empty());
+    t += Duration::millis(1);
+    sched.complete_step(t);
+  }
+  EXPECT_EQ(next_expected, static_cast<std::uint64_t>(n));
+}
+
+TEST(Scheduler, FixedModePadsDoneSlotsAtFrozenDepth) {
+  // Regression: complete_step() used to advance the decode depth of already
+  // -done padded slots, so slots() reported depths for tokens that never
+  // surfaced (inflating the attention price of fixed-mode padding).
+  SchedulerConfig cfg;
+  cfg.mode = BatchingMode::kFixed;
+  cfg.fixed_batch = 2;
+  ContinuousBatchScheduler sched{cfg};
+  sched.submit({{0, Duration::zero(), 8, 1}, {1, Duration::zero(), 8, 3}});
+  sched.release_arrivals(Duration::zero());
+  ASSERT_EQ(sched.admit().size(), 2u);
+
+  sched.complete_step(Duration::millis(1));  // both surface a token; req 0 done
+  auto slots = sched.slots();
+  ASSERT_EQ(slots.size(), 2u);  // the padded slot still occupies the batch
+  EXPECT_EQ(slots[0].step, 1);
+  EXPECT_EQ(slots[1].step, 1);
+
+  sched.complete_step(Duration::millis(2));  // only req 1 advances
+  slots = sched.slots();
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0].step, 1);  // frozen at its final depth (KV stops growing)
+  EXPECT_EQ(slots[1].step, 2);
+  EXPECT_EQ(sched.states()[0].generated, 1);  // padding surfaces no tokens
+
+  sched.complete_step(Duration::millis(3));  // req 1 finishes -> batch drains
+  EXPECT_TRUE(sched.drained());
+  EXPECT_EQ(sched.states()[1].generated, 3);
+  EXPECT_DOUBLE_EQ(sched.states()[0].completion.ms(), 1.0);
+  EXPECT_DOUBLE_EQ(sched.states()[1].completion.ms(), 3.0);
+}
+
 // --- ServerSim ----------------------------------------------------------------
+
+TEST(ServerSim, NextEventTimeWaitsOnUnfilledFixedBatch) {
+  // An under-full fixed batch on an unsealed server cannot step until more
+  // arrivals come or drain() seals it; next_event_time() must say so
+  // (infinite) rather than advertise the current boundary forever.
+  SchedulerConfig cfg;
+  cfg.mode = BatchingMode::kFixed;
+  cfg.fixed_batch = 4;
+  auto engine = make_engine(core::StrategyKind::kMondeAmove);
+  ServerSim sim{engine, cfg};
+  sim.enqueue({0, Duration::zero(), 8, 2});
+  sim.advance_to(Duration::millis(1));  // releases the arrival; batch stays under-full
+  EXPECT_EQ(sim.in_flight(), 1u);
+  EXPECT_EQ(sim.next_event_time(), Duration::infinite());
+  sim.drain();  // seal -> the partial batch finally admits
+  EXPECT_TRUE(sim.drained());
+  EXPECT_EQ(sim.report().requests.size(), 1u);
+}
+
+TEST(ServerSim, IncrementalEventApiMatchesOneShotRun) {
+  // Feeding the trace through enqueue()/advance_to()/drain() -- the path a
+  // cluster dispatcher drives -- must reproduce run() exactly.
+  const auto trace = test_trace();
+  SchedulerConfig cfg;
+  auto ref_engine = make_engine(core::StrategyKind::kMondeLoadBalanced, 7);
+  const ServeReport once = ServerSim{ref_engine, cfg}.run(trace);
+
+  auto inc_engine = make_engine(core::StrategyKind::kMondeLoadBalanced, 7);
+  ServerSim inc{inc_engine, cfg};
+  auto sorted = trace;
+  std::sort(sorted.begin(), sorted.end(), arrival_order<Request>);
+  for (const Request& rq : sorted) {
+    inc.advance_to(rq.arrival);
+    inc.enqueue(rq);
+  }
+  inc.drain();
+  const ServeReport rep = inc.report();
+
+  ASSERT_EQ(rep.requests.size(), once.requests.size());
+  for (std::size_t i = 0; i < rep.requests.size(); ++i) {
+    EXPECT_EQ(rep.requests[i].id, once.requests[i].id);
+    EXPECT_DOUBLE_EQ(rep.requests[i].ttft().ns(), once.requests[i].ttft().ns());
+    EXPECT_DOUBLE_EQ(rep.requests[i].e2e().ns(), once.requests[i].e2e().ns());
+  }
+  ASSERT_EQ(rep.steps.size(), once.steps.size());
+  EXPECT_DOUBLE_EQ(rep.makespan.ns(), once.makespan.ns());
+  EXPECT_DOUBLE_EQ(rep.busy.ns(), once.busy.ns());
+}
+
+TEST(ServerSim, NextEventTimeAndLoadAccessorsTrackQueueState) {
+  SchedulerConfig cfg;
+  auto engine = make_engine(core::StrategyKind::kMondeAmove);
+  ServerSim sim{engine, cfg};
+  EXPECT_EQ(sim.next_event_time(), Duration::infinite());  // waits on enqueue()
+  EXPECT_EQ(sim.in_flight(), 0u);
+
+  sim.enqueue({0, Duration::millis(5), 8, 2});
+  EXPECT_DOUBLE_EQ(sim.next_event_time().ms(), 5.0);  // idle until the arrival
+  EXPECT_EQ(sim.in_flight(), 1u);
+  EXPECT_EQ(sim.outstanding_tokens(), 10);  // 8 prompt + 2 decode tokens owed
+
+  // advance_to is strictly-before: the step starting at t=5 is deferred so
+  // the caller may still enqueue same-instant arrivals.
+  sim.advance_to(Duration::millis(5));
+  EXPECT_EQ(sim.in_flight(), 1u);
+  EXPECT_FALSE(sim.drained());
+
+  sim.drain();
+  EXPECT_TRUE(sim.drained());
+  EXPECT_GT(sim.now(), Duration::millis(5));
+  EXPECT_EQ(sim.in_flight(), 0u);
+  EXPECT_EQ(sim.outstanding_tokens(), 0);
+  const ServeReport rep = sim.report();
+  ASSERT_EQ(rep.requests.size(), 1u);
+  EXPECT_EQ(rep.requests[0].generated, 2);
+}
 
 TEST(ServerSim, ContinuousBeatsFixedOnPoissonTrace) {
   const auto trace = test_trace();
