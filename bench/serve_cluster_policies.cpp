@@ -87,10 +87,10 @@ int main(int argc, char** argv) {
     weak.token_budget = smoke ? 24 : 48;
     weak.fixed_batch = std::min<std::int64_t>(cfg.fixed_batch, weak.token_budget);
     std::vector<serve::ReplicaSpec> specs;
-    specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, 1});
-    specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, 2});
-    specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, 3});
-    specs.push_back({core::StrategyKind::kGpuPmove, weak, 4});
+    specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, 1, {}});
+    specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, 2, {}});
+    specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, 3, {}});
+    specs.push_back({core::StrategyKind::kGpuPmove, weak, 4, {}});
     std::printf("--- bursty trace, heterogeneous fleet (3x MD+LB + 1 weak GPU+PM) ---\n");
     // Moderate load: the strong replicas drain between bursts, so the weak
     // replica's persistent backlog is what the queue snapshots expose.

@@ -32,10 +32,10 @@ int main() {
   // Heterogeneous fleet: replicas differ in expert-execution strategy,
   // scheduler capacity, and routing seed; the platform and model are shared.
   std::vector<serve::ReplicaSpec> specs;
-  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, /*seed=*/1});
-  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, /*seed=*/2});
-  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, /*seed=*/3});
-  specs.push_back({core::StrategyKind::kGpuPmove, weak, /*seed=*/4});
+  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, /*seed=*/1, {}});
+  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, /*seed=*/2, {}});
+  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, /*seed=*/3, {}});
+  specs.push_back({core::StrategyKind::kGpuPmove, weak, /*seed=*/4, {}});
   serve::ClusterSim cluster{sys, model, moe::SkewProfile::nllb_like(), specs};
 
   serve::RequestShape shape;

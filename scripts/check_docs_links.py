@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in README.md and docs/*.md.
+
+Checks every markdown inline link ``[text](target)`` whose target is not an
+external URL (http/https/mailto) or a pure in-page anchor. Relative targets
+are resolved against the file containing the link; an optional ``#anchor``
+suffix is stripped before the existence check (anchor validity itself is
+not checked). Exits non-zero listing every broken link.
+
+Run from anywhere inside the repository:
+
+    python3 scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links, skipping images; good enough for this repo's docs
+# (no reference-style links, no angle-bracket destinations with spaces).
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(repo_root: Path) -> list[Path]:
+    files = [repo_root / "README.md"]
+    files += sorted((repo_root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{md}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    files = doc_files(repo_root)
+    if not files:
+        print("no documentation files found -- wrong repository root?")
+        return 1
+    errors = [e for f in files for e in check_file(f)]
+    for e in errors:
+        print(e)
+    checked = ", ".join(str(f.relative_to(repo_root)) for f in files)
+    if errors:
+        print(f"\n{len(errors)} broken link(s) across {checked}")
+        return 1
+    print(f"all intra-repo links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+// Autoscaling policies for the cluster serving layer.
+//
+// ClusterSim evaluates its Autoscaler at a fixed simulated-time cadence
+// (ClusterConfig::autoscale_period) while arrivals remain, handing it the
+// fleet's queue-pressure signals and asking for a desired replica count.
+// The cluster then converges: scale-up spawns fresh replicas of its growth
+// template with a modelled cold start (the new replica accepts and queues
+// requests immediately but runs no step until spawn + warmup -- the expert
+// working set is being placed); scale-down retires the emptiest accepting
+// replica, which finishes its queue and then idles, but is never dispatched
+// to again. Failed replicas do not count toward capacity once detected,
+// so an autoscaler naturally replaces dead capacity.
+//
+// Like dispatchers, autoscalers are pure policy: deterministic, engine-free
+// values in, a target fleet size out. To add a policy, implement
+// Autoscaler::target_size() and hand an instance to ClusterSim::run() --
+// see docs/ARCHITECTURE.md for a worked example.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace monde::serve {
+
+/// Fleet queue-pressure signals at one evaluation tick. Token quantities
+/// count tokens; delays are simulated milliseconds.
+struct AutoscaleSignals {
+  Duration now = Duration::zero();
+  std::size_t ready_replicas = 0;    ///< accepting and past warm-up
+  std::size_t warming_replicas = 0;  ///< spun up, still cold-starting
+  std::size_t in_flight = 0;         ///< accepted-but-unfinished requests, fleet-wide
+  std::int64_t outstanding_tokens = 0;  ///< tokens still owed, fleet-wide
+  std::size_t waiting_requests = 0;  ///< accepted, not yet admitted to a batch
+  /// p95 of (now - arrival) over the waiting requests: how long the queue's
+  /// tail has already been sitting. 0 when nothing waits.
+  double p95_queue_delay_ms = 0.0;
+
+  /// Accepting capacity the decision starts from.
+  [[nodiscard]] std::size_t capacity() const { return ready_replicas + warming_replicas; }
+};
+
+/// An autoscaling policy. target_size() is called once per evaluation tick,
+/// in time order; implementations may carry state (cooldown clocks).
+class Autoscaler {
+ public:
+  virtual ~Autoscaler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Desired accepting-replica count (ready + warming). The cluster clamps
+  /// the result to at least one replica and converges toward it.
+  [[nodiscard]] virtual std::size_t target_size(const AutoscaleSignals& s) = 0;
+};
+
+/// Configuration for the shipped queue-pressure policy.
+struct AutoscaleConfig {
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 8;
+  /// Scale up when outstanding tokens per accepting replica exceed this
+  /// high watermark; scale down below the low watermark (hysteresis band).
+  std::int64_t high_tokens_per_replica = 256;
+  std::int64_t low_tokens_per_replica = 32;
+  /// Optional latency trigger: also scale up when the p95 queue delay
+  /// exceeds this many simulated milliseconds. <= 0 disables it.
+  double high_queue_delay_ms = 0.0;
+  /// Replicas added or removed per decision.
+  std::size_t step = 1;
+  /// Minimum simulated time between two scaling actions (0 = none). Ticks
+  /// inside the cooldown hold the fleet size steady.
+  Duration cooldown = Duration::zero();
+
+  void validate() const;
+};
+
+/// Hysteresis autoscaler over outstanding-token pressure with an optional
+/// p95-queue-delay trigger. Never scales down while a replica is still
+/// warming (the previous decision has not landed yet).
+[[nodiscard]] std::unique_ptr<Autoscaler> make_queue_pressure_autoscaler(AutoscaleConfig cfg);
+
+}  // namespace monde::serve

@@ -1,6 +1,9 @@
 #include "serve/cluster.hpp"
 
 #include <algorithm>
+#include <map>
+#include <queue>
+#include <utility>
 
 #include "ndp/ndp_core.hpp"
 
@@ -12,82 +15,341 @@ std::vector<ReplicaSpec> uniform_fleet(std::size_t n, core::StrategyKind strateg
   std::vector<ReplicaSpec> specs;
   specs.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    specs.push_back(ReplicaSpec{strategy, sched, seed0 + i});
+    specs.push_back(ReplicaSpec{strategy, sched, seed0 + i, FaultSpec{}});
   }
   return specs;
 }
 
+void ClusterConfig::validate() const {
+  health.validate();
+  MONDE_REQUIRE(retry_timeout > Duration::zero(), "retry_timeout must be positive");
+  MONDE_REQUIRE(warmup >= Duration::zero(), "warmup must be non-negative");
+  MONDE_REQUIRE(autoscale_period > Duration::zero(), "autoscale_period must be positive");
+}
+
+std::string to_string(ClusterEvent::Kind kind) {
+  switch (kind) {
+    case ClusterEvent::Kind::kScaleUp: return "scale-up";
+    case ClusterEvent::Kind::kScaleDown: return "scale-down";
+    case ClusterEvent::Kind::kFailStop: return "fail-stop";
+    case ClusterEvent::Kind::kFailureDetected: return "failure-detected";
+    case ClusterEvent::Kind::kRetry: return "retry";
+  }
+  MONDE_ASSERT(false, "unknown cluster event kind");
+  return {};
+}
+
 ClusterSim::ClusterSim(const core::SystemConfig& sys, const moe::MoeModelConfig& model,
                        const moe::SkewProfile& profile,
-                       const std::vector<ReplicaSpec>& specs) {
+                       const std::vector<ReplicaSpec>& specs, ClusterConfig cfg)
+    : sys_{sys}, model_{model}, profile_{profile}, cfg_{cfg} {
   MONDE_REQUIRE(!specs.empty(), "cluster needs at least one replica");
+  cfg_.validate();
   // All replicas run the same platform, so one NdpCoreSim serves the whole
   // fleet and expert-shape latencies memoize across replicas (the sharing
   // is timing-neutral; see test_fastpath_diff).
-  auto shared_sim = std::make_shared<ndp::NdpCoreSim>(sys.ndp, sys.monde_mem);
+  shared_sim_ = std::make_shared<ndp::NdpCoreSim>(sys_.ndp, sys_.monde_mem);
   replicas_.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    Replica r;
-    r.engine = std::make_unique<core::InferenceEngine>(sys, model, profile,
-                                                       specs[i].strategy, specs[i].seed,
-                                                       shared_sim);
-    r.server = std::make_unique<ServerSim>(*r.engine, specs[i].sched);
-    r.name = "replica" + std::to_string(i) + " (" + r.engine->strategy().name() + ")";
-    replicas_.push_back(std::move(r));
+  next_seed_ = 0;
+  for (const ReplicaSpec& spec : specs) {
+    add_replica(spec, Duration::zero(), Duration::zero());
+    next_seed_ = std::max(next_seed_, spec.seed + 1);
+  }
+  // Autoscaled replicas clone the first spec, faults cleared: an injected
+  // fault plan describes a *specific* node, not replacement capacity.
+  growth_ = specs.front();
+  growth_.fault = FaultSpec{};
+}
+
+void ClusterSim::add_replica(const ReplicaSpec& spec, Duration spawned_at,
+                             Duration start_at) {
+  Replica r;
+  r.engine = std::make_unique<core::InferenceEngine>(sys_, model_, profile_, spec.strategy,
+                                                     spec.seed, shared_sim_);
+  r.server = std::make_unique<ServerSim>(*r.engine, spec.sched, start_at, spec.fault);
+  r.name = "replica" + std::to_string(replicas_.size()) + " (" +
+           r.engine->strategy().name() + ")";
+  r.spawned_at = spawned_at;
+  if (spec.fault.fail_stop()) {
+    r.detect_at = failure_detection_time(spec.fault.fail_at, cfg_.health);
+  }
+  replicas_.push_back(std::move(r));
+}
+
+void ClusterSim::update_ewma(Replica& r) {
+  const std::vector<StepRecord>& steps = r.server->steps();
+  for (; r.steps_seen < steps.size(); ++r.steps_seen) {
+    const double ms = (steps[r.steps_seen].end - steps[r.steps_seen].start).ms();
+    r.ewma_ms = r.steps_seen == 0
+                    ? ms
+                    : cfg_.health.ewma_alpha * ms + (1.0 - cfg_.health.ewma_alpha) * r.ewma_ms;
   }
 }
 
-ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher) {
+std::vector<ReplicaSnapshot> ClusterSim::snapshots(Duration now) const {
+  std::vector<ReplicaSnapshot> snaps(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const Replica& r = replicas_[i];
+    snaps[i] = ReplicaSnapshot{i,
+                               r.server->in_flight(),
+                               r.server->outstanding_tokens(),
+                               /*accepting=*/!r.detected && !r.retired,
+                               /*warming=*/r.server->start_at() > now,
+                               (now - last_ok_heartbeat(now, r.server->fault().fail_at,
+                                                        cfg_.health))
+                                   .ms(),
+                               r.ewma_ms};
+  }
+  return snaps;
+}
+
+std::size_t ClusterSim::accepting_count() const {
+  std::size_t n = 0;
+  for (const Replica& r : replicas_) {
+    if (!r.detected && !r.retired) ++n;
+  }
+  return n;
+}
+
+ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher,
+                              Autoscaler* autoscaler) {
   MONDE_REQUIRE(!used_, "ClusterSim::run() may be called only once");
   MONDE_REQUIRE(!trace.empty(), "cannot serve an empty trace");
   used_ = true;
   std::stable_sort(trace.begin(), trace.end(), arrival_order<Request>);
 
-  // Dispatch loop: bring every replica up to the arrival instant, snapshot
-  // their live load, let the policy pick, hand over the request.
-  std::vector<ReplicaSnapshot> snapshots(replicas_.size());
+  // Original arrivals, for re-basing retried requests' fleet metrics.
+  std::map<std::uint64_t, Duration> original_arrival;
   for (const Request& rq : trace) {
-    for (Replica& r : replicas_) r.server->advance_to(rq.arrival);
-    for (std::size_t i = 0; i < replicas_.size(); ++i) {
-      snapshots[i] = ReplicaSnapshot{i, replicas_[i].server->in_flight(),
-                                     replicas_[i].server->outstanding_tokens()};
+    MONDE_REQUIRE(original_arrival.emplace(rq.id, rq.arrival).second,
+                  "duplicate request id " << rq.id << " in trace");
+  }
+
+  // The work queue: original arrivals plus failure retries, dispatched in
+  // (time, id) order so per-replica enqueues stay (arrival, id)-ordered.
+  struct Item {
+    Duration time;
+    Request rq;
+  };
+  const auto later = [](const Item& a, const Item& b) {
+    return a.time != b.time ? a.time > b.time : a.rq.id > b.rq.id;
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(later)> pending{later};
+  for (const Request& rq : trace) pending.push(Item{rq.arrival, rq});
+
+  std::vector<ClusterEvent> events;
+  std::size_t retries = 0;
+  std::size_t peak = accepting_count();
+  Duration next_tick = cfg_.autoscale_period;
+
+  const auto advance_all = [&](Duration t) {
+    for (Replica& r : replicas_) {
+      r.server->advance_to(t);
+      update_ewma(r);
     }
-    const std::size_t pick = dispatcher.pick(snapshots);
-    MONDE_REQUIRE(pick < replicas_.size(),
-                  "dispatcher picked replica " << pick << " of " << replicas_.size());
-    replicas_[pick].server->enqueue(rq);
-    ++replicas_[pick].dispatched;
+  };
+
+  for (;;) {
+    const Duration item_t = pending.empty() ? Duration::infinite() : pending.top().time;
+    // Earliest undetected fail-stop: its detection is a cluster event even
+    // when it lies beyond the last arrival (stranded work must recover).
+    Duration det_t = Duration::infinite();
+    std::size_t det_i = 0;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      const Replica& r = replicas_[i];
+      if (!r.detected && r.detect_at < det_t) {
+        det_t = r.detect_at;
+        det_i = i;
+      }
+    }
+    // The autoscaler ticks only while arrivals/retries remain: after the
+    // last dispatch the fleet simply drains as-is.
+    const Duration tick_t =
+        (autoscaler != nullptr && !pending.empty()) ? next_tick : Duration::infinite();
+
+    if (det_t <= item_t && det_t <= tick_t) {
+      if (det_t == Duration::infinite()) break;  // nothing left to do
+      Replica& r = replicas_[det_i];
+      advance_all(det_t);  // the dying replica freezes at its fail-stop instant
+      r.detected = true;
+      const Duration died_at = r.server->fault().fail_at;
+      events.push_back({ClusterEvent::Kind::kFailStop, died_at, det_i,
+                        "replica" + std::to_string(det_i) + " died"});
+      std::vector<Request> stranded = r.server->harvest_stranded();
+      events.push_back({ClusterEvent::Kind::kFailureDetected, det_t, det_i,
+                        "heartbeat stale; " + std::to_string(stranded.size()) +
+                            " stranded request(s) queued for retry"});
+      for (Request rq : stranded) {
+        ++rq.attempt;
+        pending.push(Item{det_t + cfg_.retry_timeout, rq});
+      }
+      continue;
+    }
+
+    if (tick_t <= item_t) {
+      advance_all(tick_t);
+      AutoscaleSignals sig;
+      sig.now = tick_t;
+      std::vector<double> waits_ms;
+      for (const Replica& r : replicas_) {
+        if (r.detected || r.retired) continue;
+        if (r.server->start_at() > tick_t) {
+          ++sig.warming_replicas;
+        } else {
+          ++sig.ready_replicas;
+        }
+        sig.in_flight += r.server->in_flight();
+        sig.outstanding_tokens += r.server->outstanding_tokens();
+        for (const Duration arrival : r.server->waiting_arrivals()) {
+          waits_ms.push_back((tick_t - arrival).ms());
+        }
+      }
+      sig.waiting_requests = waits_ms.size();
+      if (!waits_ms.empty()) {
+        sig.p95_queue_delay_ms = percentile(std::move(waits_ms), 95.0);
+      }
+      const std::size_t target = std::max<std::size_t>(autoscaler->target_size(sig), 1);
+      std::size_t capacity = accepting_count();
+      while (capacity < target) {
+        ReplicaSpec spec = growth_;
+        spec.seed = next_seed_++;
+        const std::size_t idx = replicas_.size();
+        add_replica(spec, tick_t, tick_t + cfg_.warmup);
+        events.push_back({ClusterEvent::Kind::kScaleUp, tick_t, idx,
+                          "spawned " + replicas_.back().name + ", ready at " +
+                              (tick_t + cfg_.warmup).str()});
+        ++capacity;
+      }
+      while (capacity > target && capacity > 1) {
+        // Retire the accepting replica owing the fewest tokens, newest on
+        // ties: it drains its queue, then idles, never dispatched to again.
+        std::size_t victim = replicas_.size();
+        for (std::size_t i = 0; i < replicas_.size(); ++i) {
+          const Replica& r = replicas_[i];
+          if (r.detected || r.retired) continue;
+          if (victim == replicas_.size() ||
+              r.server->outstanding_tokens() <=
+                  replicas_[victim].server->outstanding_tokens()) {
+            victim = i;
+          }
+        }
+        replicas_[victim].retired = true;
+        replicas_[victim].retired_at = tick_t;
+        events.push_back({ClusterEvent::Kind::kScaleDown, tick_t, victim,
+                          "retired " + replicas_[victim].name + " (" +
+                              std::to_string(replicas_[victim].server->in_flight()) +
+                              " request(s) left to drain)"});
+        --capacity;
+      }
+      peak = std::max(peak, accepting_count());
+      next_tick += cfg_.autoscale_period;
+      continue;
+    }
+
+    if (pending.empty()) break;
+    const Item it = pending.top();
+    pending.pop();
+    advance_all(it.time);
+    // The stale-heartbeat cut is belt-and-braces here: detection events at
+    // or before `it.time` were processed first, so a replica whose age
+    // crossed the timeout is already non-accepting -- but the filter makes
+    // the snapshot's heartbeat age authoritative for custom policies too.
+    const std::vector<ReplicaSnapshot> eligible =
+        eligible_snapshots(snapshots(it.time), cfg_.health.slow_ewma_factor,
+                           cfg_.health.heartbeat_timeout.ms());
+    const std::size_t pick = dispatcher.pick(eligible);
+    MONDE_REQUIRE(pick < eligible.size(),
+                  "dispatcher picked entry " << pick << " of " << eligible.size());
+    const std::size_t idx = eligible[pick].replica;
+    Request rq = it.rq;
+    rq.arrival = it.time;  // = the original arrival except for retries
+    replicas_[idx].server->enqueue(rq);
+    ++replicas_[idx].dispatched;
+    if (rq.attempt > 0) {
+      ++retries;
+      events.push_back({ClusterEvent::Kind::kRetry, it.time, idx,
+                        "request " + std::to_string(rq.id) + " attempt " +
+                            std::to_string(rq.attempt) + " -> replica" +
+                            std::to_string(idx)});
+    }
   }
   // No further arrivals: replicas finish independently, so each can drain
-  // to completion on its own.
+  // to completion on its own (failed replicas were harvested above).
   for (Replica& r : replicas_) r.server->drain();
 
   ClusterReport rep;
   rep.policy = dispatcher.name();
+  rep.autoscaler = autoscaler != nullptr ? autoscaler->name() : "";
+  rep.retries = retries;
+  rep.peak_replicas = peak;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ClusterEvent& a, const ClusterEvent& b) { return a.time < b.time; });
+  rep.events = std::move(events);
+
+  std::vector<ServeReport> serves;
+  serves.reserve(replicas_.size());
+  for (Replica& r : replicas_) serves.push_back(r.server->report());
+  // Fleet makespan: a spawned replica that never ran a step contributes its
+  // spawn instant, not its (possibly later) warm-up boundary.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    rep.makespan = monde::max(rep.makespan, serves[i].steps.empty()
+                                                ? replicas_[i].spawned_at
+                                                : serves[i].makespan);
+  }
+
   std::vector<double> busy_ms;
   std::vector<double> ttft_ms, tpot_ms, e2e_ms;
+  Duration total_busy = Duration::zero();
+  Duration total_alive = Duration::zero();
   rep.replicas.reserve(replicas_.size());
-  for (Replica& r : replicas_) {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    Replica& r = replicas_[i];
     ReplicaReport rr;
     rr.name = r.name;
-    rr.serve = r.server->report();
+    rr.serve = std::move(serves[i]);
     rr.dispatched = r.dispatched;
-    rep.makespan = monde::max(rep.makespan, rr.serve.makespan);
+    rr.spawned_at = r.spawned_at;
+    rr.failed = r.server->failed();
+    rr.retired = r.retired;
+    // A failed replica's provisioned window ends at its death; a retired
+    // one's when its drain completes (the capacity is released then) -- so
+    // replica_seconds and fleet utilization credit scale-downs. Survivors
+    // are billed until the fleet finishes.
+    if (rr.failed) {
+      rr.alive_until = monde::min(r.server->fault().fail_at, rep.makespan);
+    } else if (rr.retired) {
+      rr.alive_until = monde::max(r.retired_at,
+                                  rr.serve.steps.empty() ? rr.spawned_at : rr.serve.makespan);
+    } else {
+      rr.alive_until = rep.makespan;
+    }
+    rr.alive_until = monde::max(rr.alive_until, rr.spawned_at);
+    // Utilization weights each replica by the window it was actually alive
+    // -- an autoscaled replica is not diluted by time before its spawn, nor
+    // a failed one credited for time after its death.
+    const Duration window = rr.alive_until - rr.spawned_at;
+    rr.utilization = window > Duration::zero() ? rr.serve.busy / window : 0.0;
     rep.generated_tokens += rr.serve.generated_tokens;
+    total_busy += rr.serve.busy;
+    total_alive += window;
     busy_ms.push_back(rr.serve.busy.ms());
     for (const RequestMetrics& m : rr.serve.requests) {
-      ttft_ms.push_back(m.ttft().ms());
-      if (m.generated > 1) tpot_ms.push_back(m.tpot().ms());
-      e2e_ms.push_back(m.e2e().ms());
-      rep.requests.push_back(m);
+      RequestMetrics fm = m;
+      fm.arrival = original_arrival.at(fm.id);  // retries span their failures
+      ttft_ms.push_back(fm.ttft().ms());
+      if (fm.generated > 1) tpot_ms.push_back(fm.tpot().ms());
+      e2e_ms.push_back(fm.e2e().ms());
+      rep.requests.push_back(fm);
     }
     rep.replicas.push_back(std::move(rr));
   }
+  MONDE_ASSERT(rep.requests.size() == original_arrival.size(),
+               "cluster lost requests: served " << rep.requests.size() << " of "
+                                                << original_arrival.size());
   std::stable_sort(rep.requests.begin(), rep.requests.end(), arrival_order<RequestMetrics>);
-  for (ReplicaReport& rr : rep.replicas) {
-    rr.utilization = rep.makespan > Duration::zero() ? rr.serve.busy / rep.makespan : 0.0;
-  }
   rep.imbalance = imbalance_factor(busy_ms);
+  rep.fleet_utilization = total_alive > Duration::zero() ? total_busy / total_alive : 0.0;
+  rep.replica_seconds = total_alive.sec();
   if (!ttft_ms.empty()) rep.ttft_ms = compute_percentiles(std::move(ttft_ms));
   if (!tpot_ms.empty()) rep.tpot_ms = compute_percentiles(std::move(tpot_ms));
   if (!e2e_ms.empty()) rep.e2e_ms = compute_percentiles(std::move(e2e_ms));

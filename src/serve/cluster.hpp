@@ -1,4 +1,5 @@
-// Multi-replica cluster serving: N replica servers behind one dispatcher.
+// Multi-replica cluster serving: an elastic fleet of replica servers behind
+// one health-checked dispatcher.
 //
 // The paper argues MoNDE makes sparse-MoE serving cost-effective per node;
 // a production deployment then scales out by putting a fleet of such nodes
@@ -12,10 +13,38 @@
 // advanced to the arrival instant, so completions up to that point are
 // reflected in the snapshots the policy sees.
 //
-// The report carries both per-replica ServeReports and fleet-wide
-// aggregates: latency percentiles over the union of all requests, total
-// tokens/s over the fleet makespan, per-replica utilization, and a
-// max-over-mean busy-time imbalance factor (1.0 = perfectly balanced).
+// On top of that base (PR 3), the cluster is elastic and failure-aware:
+//
+//   * Autoscaling -- pass an Autoscaler (autoscale.hpp) to run() and the
+//     fleet is resized against queue pressure at a fixed evaluation cadence.
+//     Scale-ups spawn replicas of `growth` (default: specs[0], faults
+//     cleared) with a modelled cold start: the new replica accepts and
+//     queues requests immediately but runs no step until spawn + warmup.
+//     Scale-downs retire the accepting replica owing the fewest tokens; it
+//     drains its queue and then idles, excluded from dispatch.
+//   * Failure injection -- each ReplicaSpec may carry a FaultSpec
+//     (fault.hpp): fail-stop at an instant, or a slow-down window priced
+//     through ServerSim's steps. Fail-stop detection is heartbeat-based
+//     (HealthConfig): the dispatcher keeps feeding a dead replica until its
+//     heartbeat goes stale, then the replica is excluded permanently, its
+//     stranded requests are harvested and re-dispatched to healthy replicas
+//     after `retry_timeout` (retries restart from scratch; fleet metrics
+//     stay keyed to the original arrival so the loss lands in the tail).
+//
+// With no autoscaler and no faults configured, run() degenerates to exactly
+// the PR 3 dispatch loop -- pinned bit-identical by tests/test_cluster.cpp.
+//
+// The report carries per-replica ServeReports and fleet-wide aggregates:
+// latency percentiles over the union of all requests (re-based to original
+// arrivals), total tokens/s over the fleet makespan, alive-time-weighted
+// per-replica and fleet utilization, a max-over-mean busy-time imbalance
+// factor (1.0 = perfectly balanced), and the scaling/failure event log.
+//
+// Ownership: ClusterSim copies the platform/model/profile configuration and
+// owns every replica's engine and server. All replicas (including ones
+// spawned mid-run) share one NdpCoreSim so expert-shape latencies memoize
+// across the fleet; the shared_ptr keeps it alive for the cluster's
+// lifetime, and the sharing is timing-neutral (see test_fastpath_diff).
 #pragma once
 
 #include <cstdint>
@@ -24,18 +53,20 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "serve/autoscale.hpp"
 #include "serve/dispatch.hpp"
 #include "serve/server.hpp"
 
 namespace monde::serve {
 
 /// What distinguishes one replica from another. The platform (SystemConfig),
-/// model, and skew profile are cluster-wide; strategy, scheduler, and the
-/// routing seed are per replica.
+/// model, and skew profile are cluster-wide; strategy, scheduler, routing
+/// seed, and fault plan are per replica.
 struct ReplicaSpec {
   core::StrategyKind strategy = core::StrategyKind::kMondeLoadBalanced;
   SchedulerConfig sched;
   std::uint64_t seed = 42;  ///< workload-routing seed; give replicas distinct seeds
+  FaultSpec fault;          ///< injected fault plan (default: healthy)
 };
 
 /// Homogeneous fleet helper: `n` replicas of one strategy/scheduler with
@@ -46,20 +77,68 @@ struct ReplicaSpec {
                                                      SchedulerConfig sched,
                                                      std::uint64_t seed0 = 1);
 
+/// Cluster-wide behavior knobs (health checking, retry, elasticity). The
+/// defaults are inert for a fault-free, autoscaler-less run.
+struct ClusterConfig {
+  HealthConfig health;
+  /// Delay between detecting a replica failure and re-dispatching its
+  /// stranded requests (the client/LB retry backoff).
+  Duration retry_timeout = Duration::millis(2);
+  /// Cold-start span of an autoscaled replica: it accepts requests from the
+  /// spawn instant but runs no step until spawn + warmup (expert placement).
+  Duration warmup = Duration::millis(10);
+  /// Autoscaler evaluation cadence (ticks at k * period while arrivals
+  /// remain; after the last arrival the fleet drains as-is).
+  Duration autoscale_period = Duration::millis(5);
+
+  void validate() const;
+};
+
+/// One entry of the cluster's scaling/failure timeline.
+struct ClusterEvent {
+  enum class Kind {
+    kScaleUp,          ///< autoscaler spawned a replica (warm-up begins)
+    kScaleDown,        ///< autoscaler retired a replica (drains, then idles)
+    kFailStop,         ///< a replica died (recorded at the instant of death)
+    kFailureDetected,  ///< heartbeat monitor declared it dead; harvest + retry
+    kRetry,            ///< a stranded request was re-dispatched
+  };
+  Kind kind{};
+  Duration time = Duration::zero();
+  std::size_t replica = 0;  ///< replica index the event concerns
+  std::string detail;
+};
+
+[[nodiscard]] std::string to_string(ClusterEvent::Kind kind);
+
 /// One replica's slice of a cluster run.
 struct ReplicaReport {
   std::string name;  ///< "replica<i> (<strategy>)"
   ServeReport serve;
-  std::size_t dispatched = 0;  ///< requests this replica received
-  double utilization = 0.0;    ///< busy time / fleet makespan
+  std::size_t dispatched = 0;  ///< requests this replica received (incl. retries)
+  Duration spawned_at = Duration::zero();  ///< 0 for boot replicas
+  /// End of the replica's alive (provisioned) window: its fail-stop
+  /// instant; for a retired replica the later of the retirement decision
+  /// and its drain completion (after which the capacity is released); else
+  /// the fleet makespan. Utilization is busy time over
+  /// [spawned_at, alive_until] -- weighting by the alive window keeps
+  /// autoscaled, retired, or failed replicas comparable to ones that lived
+  /// the whole run, and makes replica_seconds credit scale-downs.
+  Duration alive_until = Duration::zero();
+  double utilization = 0.0;
+  bool failed = false;   ///< hit its fail-stop instant
+  bool retired = false;  ///< scaled down (drained its queue, then idled)
 };
 
 /// Everything one cluster run produced.
 struct ClusterReport {
   std::string policy;
+  std::string autoscaler;  ///< empty when autoscaling was off
   std::vector<ReplicaReport> replicas;
-  /// Fleet-wide union of every replica's per-request metrics, in
-  /// (arrival, id) order. Exactly a permutation of the input trace.
+  /// Fleet-wide union of every completed request's metrics, in (arrival,
+  /// id) order with arrivals re-based to the input trace (so a retried
+  /// request's latency spans its failures). Exactly a permutation of the
+  /// input trace's ids.
   std::vector<RequestMetrics> requests;
   Duration makespan = Duration::zero();  ///< latest replica completion
   std::uint64_t generated_tokens = 0;
@@ -69,19 +148,34 @@ struct ClusterReport {
   Percentiles e2e_ms;
   /// Max-over-mean of per-replica busy time: 1.0 = perfectly balanced.
   double imbalance = 0.0;
+  /// Sum of busy time over sum of alive windows: the fleet's useful
+  /// occupancy of the capacity it actually paid for.
+  double fleet_utilization = 0.0;
+  /// Sum of alive windows in seconds -- the autoscaling cost metric
+  /// (replica-seconds of capacity provisioned).
+  double replica_seconds = 0.0;
+  std::size_t peak_replicas = 0;  ///< max simultaneously accepting replicas
+  std::size_t retries = 0;        ///< failure-driven re-dispatches
+  std::vector<ClusterEvent> events;  ///< scaling/failure timeline, time order
 };
 
 /// A fleet of replica servers interleaved in simulated time.
 class ClusterSim {
  public:
   ClusterSim(const core::SystemConfig& sys, const moe::MoeModelConfig& model,
-             const moe::SkewProfile& profile, const std::vector<ReplicaSpec>& specs);
+             const moe::SkewProfile& profile, const std::vector<ReplicaSpec>& specs,
+             ClusterConfig cfg = {});
 
+  /// Currently instantiated replicas (grows under autoscaling).
   [[nodiscard]] std::size_t size() const { return replicas_.size(); }
 
-  /// Serve `trace` (sorted by (arrival, id) internally), dispatching each
-  /// request at its arrival instant via `dispatcher`. Call once.
-  [[nodiscard]] ClusterReport run(std::vector<Request> trace, Dispatcher& dispatcher);
+  /// Serve `trace` (sorted by (arrival, id) internally; ids must be
+  /// unique), dispatching each request at its arrival instant via
+  /// `dispatcher`. Pass an `autoscaler` to resize the fleet against queue
+  /// pressure. Call once. Throws if every replica fails or retires while
+  /// requests remain.
+  [[nodiscard]] ClusterReport run(std::vector<Request> trace, Dispatcher& dispatcher,
+                                  Autoscaler* autoscaler = nullptr);
 
  private:
   struct Replica {
@@ -89,9 +183,28 @@ class ClusterSim {
     std::unique_ptr<core::InferenceEngine> engine;
     std::unique_ptr<ServerSim> server;
     std::size_t dispatched = 0;
+    Duration spawned_at = Duration::zero();
+    Duration detect_at = Duration::infinite();  ///< fail-stop detection instant
+    Duration retired_at = Duration::zero();     ///< scale-down decision instant
+    bool detected = false;  ///< failure detected (excluded, harvested)
+    bool retired = false;   ///< scaled down (excluded from dispatch)
+    std::size_t steps_seen = 0;  ///< steps folded into the EWMA so far
+    double ewma_ms = 0.0;        ///< step-duration EWMA (health signal)
   };
 
+  void add_replica(const ReplicaSpec& spec, Duration spawned_at, Duration start_at);
+  void update_ewma(Replica& r);
+  [[nodiscard]] std::vector<ReplicaSnapshot> snapshots(Duration now) const;
+  [[nodiscard]] std::size_t accepting_count() const;
+
+  core::SystemConfig sys_;
+  moe::MoeModelConfig model_;
+  moe::SkewProfile profile_;
+  ClusterConfig cfg_;
+  std::shared_ptr<ndp::NdpCoreSim> shared_sim_;
   std::vector<Replica> replicas_;
+  ReplicaSpec growth_;        ///< template for autoscaled replicas (no faults)
+  std::uint64_t next_seed_;   ///< routing seed for the next spawned replica
   bool used_ = false;
 };
 

@@ -1,7 +1,10 @@
 #include "serve/dispatch.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 
 namespace monde::serve {
 namespace {
@@ -89,6 +92,32 @@ std::string to_string(DispatchPolicy policy) {
 std::vector<DispatchPolicy> all_dispatch_policies() {
   return {DispatchPolicy::kRoundRobin, DispatchPolicy::kJoinShortestQueue,
           DispatchPolicy::kLeastOutstandingTokens, DispatchPolicy::kPowerOfTwoChoices};
+}
+
+std::vector<ReplicaSnapshot> eligible_snapshots(const std::vector<ReplicaSnapshot>& all,
+                                                double slow_ewma_factor,
+                                                double stale_age_ms) {
+  std::vector<ReplicaSnapshot> eligible;
+  eligible.reserve(all.size());
+  for (const ReplicaSnapshot& s : all) {
+    if (s.accepting && s.heartbeat_age_ms <= stale_age_ms) eligible.push_back(s);
+  }
+  MONDE_REQUIRE(!eligible.empty(),
+                "no replica is accepting requests (every replica failed or retired)");
+  if (!std::isfinite(slow_ewma_factor)) return eligible;
+  // Soft filter: skip pathologically slow replicas, but never starve the
+  // dispatcher -- if everyone looks slow, everyone stays eligible.
+  std::vector<double> ewmas;
+  for (const ReplicaSnapshot& s : eligible) {
+    if (s.step_ewma_ms > 0.0) ewmas.push_back(s.step_ewma_ms);
+  }
+  if (ewmas.empty()) return eligible;
+  const double cutoff = percentile(std::move(ewmas), 50.0) * slow_ewma_factor;
+  std::vector<ReplicaSnapshot> fast;
+  for (const ReplicaSnapshot& s : eligible) {
+    if (s.step_ewma_ms <= cutoff) fast.push_back(s);
+  }
+  return fast.empty() ? eligible : fast;
 }
 
 std::unique_ptr<Dispatcher> make_dispatcher(DispatchPolicy policy, std::uint64_t seed) {

@@ -17,9 +17,23 @@
 //
 // Policies are deterministic given their seed; ties break toward the lowest
 // replica index.
+//
+// Health-checked dispatch: the cluster never hands a policy the raw fleet.
+// It filters snapshots through eligible_snapshots() first -- detected-dead
+// and retired replicas are excluded outright, and replicas whose step-
+// duration EWMA marks them as pathologically slow are skipped while a
+// faster peer exists. A policy's pick() therefore indexes into the filtered
+// vector; the caller maps back through ReplicaSnapshot::replica. With every
+// replica healthy the filter is the identity, so fault-free dispatch is
+// bit-identical to the pre-health behavior.
+//
+// Units: `outstanding_tokens` counts tokens, `heartbeat_age_ms` and
+// `step_ewma_ms` are simulated milliseconds. Snapshots are plain values --
+// policies never touch a server and are unit-testable without an engine.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,11 +52,18 @@ enum class DispatchPolicy {
 /// All four policies, in enum order (for benches and tests that sweep them).
 [[nodiscard]] std::vector<DispatchPolicy> all_dispatch_policies();
 
-/// One replica's live load as the dispatcher sees it at a dispatch instant.
+/// One replica's live load and health as the dispatcher sees it at a
+/// dispatch instant.
 struct ReplicaSnapshot {
   std::size_t replica = 0;             ///< index into the cluster's replica list
   std::size_t in_flight = 0;           ///< accepted, not yet finished requests
   std::int64_t outstanding_tokens = 0; ///< un-prefilled prompt + remaining decode tokens
+  // Health and lifecycle (filled by the cluster; defaults describe a
+  // healthy, long-booted replica so hand-built snapshots keep working):
+  bool accepting = true;        ///< false: detected dead or retired -- never dispatch
+  bool warming = false;         ///< cold-starting: accepts, but steps only after warm-up
+  double heartbeat_age_ms = 0;  ///< time since the last successful heartbeat poll
+  double step_ewma_ms = 0;      ///< EWMA of recent step durations (0 = no steps yet)
 };
 
 /// A dispatch policy. pick() is called once per request, in arrival order;
@@ -62,5 +83,23 @@ class Dispatcher {
 /// (power-of-two choices); everything is deterministic given it.
 [[nodiscard]] std::unique_ptr<Dispatcher> make_dispatcher(DispatchPolicy policy,
                                                           std::uint64_t seed = 42);
+
+/// The health filter applied before every pick():
+///
+///   1. keeps accepting replicas only, and among those drops any whose
+///      `heartbeat_age_ms` exceeds `stale_age_ms` (a stale heartbeat is how
+///      the dispatcher "sees" an undetected death) -- throws when nothing
+///      is left: the whole fleet failed or retired;
+///   2. when `slow_ewma_factor` is finite, drops replicas whose step EWMA
+///      exceeds factor x the median EWMA of the remaining set -- unless
+///      that would empty it (a soft deprioritization).
+///
+/// Warming replicas stay eligible (a cold-starting replica accepts and
+/// queues; that *is* the modelled warm-up cost). Order and `replica`
+/// indices are preserved, so with an all-healthy fleet the result equals
+/// the input.
+[[nodiscard]] std::vector<ReplicaSnapshot> eligible_snapshots(
+    const std::vector<ReplicaSnapshot>& all, double slow_ewma_factor,
+    double stale_age_ms = std::numeric_limits<double>::infinity());
 
 }  // namespace monde::serve

@@ -1,0 +1,50 @@
+#include "serve/fault.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace monde::serve {
+
+void FaultSpec::validate() const {
+  MONDE_REQUIRE(fail_at > Duration::zero(), "fail_at must be positive (replica must boot)");
+  MONDE_REQUIRE(slow_factor >= 1.0,
+                "slow_factor models a slow-down; need >= 1, got " << slow_factor);
+  MONDE_REQUIRE(slow_until >= slow_from, "slow-down window must not be inverted");
+  MONDE_REQUIRE(slow_from >= Duration::zero(), "slow-down window starts before t=0");
+}
+
+void HealthConfig::validate() const {
+  MONDE_REQUIRE(heartbeat_interval > Duration::zero(), "heartbeat_interval must be > 0");
+  MONDE_REQUIRE(heartbeat_timeout >= heartbeat_interval,
+                "heartbeat_timeout (" << heartbeat_timeout.str()
+                                      << ") must be >= heartbeat_interval ("
+                                      << heartbeat_interval.str() << ")");
+  MONDE_REQUIRE(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+                "ewma_alpha must lie in (0, 1], got " << ewma_alpha);
+  MONDE_REQUIRE(slow_ewma_factor > 1.0,
+                "slow_ewma_factor must exceed 1 (or be infinite to disable)");
+}
+
+Duration last_ok_heartbeat(Duration now, Duration fail_at, const HealthConfig& cfg) {
+  MONDE_REQUIRE(now >= Duration::zero(), "heartbeat query before t=0");
+  // Last poll at or before `now`...
+  double k = std::floor(now / cfg.heartbeat_interval);
+  // ...clamped to the last poll strictly before the instant of death (the
+  // k = 0 poll is defined to succeed: a replica is alive at its own start).
+  if (fail_at < Duration::infinite()) {
+    const double k_dead = std::ceil(fail_at / cfg.heartbeat_interval) - 1.0;
+    if (k_dead < k) k = k_dead;
+  }
+  if (k < 0.0) k = 0.0;
+  return cfg.heartbeat_interval * k;
+}
+
+Duration failure_detection_time(Duration fail_at, const HealthConfig& cfg) {
+  MONDE_REQUIRE(fail_at < Duration::infinite(),
+                "detection time is only defined for a fail-stop fault");
+  const Duration last_ok = last_ok_heartbeat(fail_at, fail_at, cfg);
+  return monde::max(fail_at, last_ok + cfg.heartbeat_timeout);
+}
+
+}  // namespace monde::serve

@@ -25,11 +25,19 @@ template <typename T>
 }
 
 /// One inference request in a serving trace.
+///
+/// Units: `arrival` is simulated time (Duration, nanosecond resolution);
+/// `prompt_len` and `max_new_tokens` are token counts. `attempt` tracks
+/// failure-driven re-dispatch: a request stranded on a failed replica is
+/// re-enqueued elsewhere with `attempt` incremented and `arrival` rewritten
+/// to the retry instant (the cluster re-bases fleet-level metrics to the
+/// original arrival so retries show up in the latency tail).
 struct Request {
   std::uint64_t id = 0;
   Duration arrival = Duration::zero();  ///< when the request enters the queue
   std::int64_t prompt_len = 0;          ///< source tokens to prefill
   std::int64_t max_new_tokens = 0;      ///< decode budget (tokens to generate)
+  std::uint32_t attempt = 0;            ///< 0 = first dispatch; +1 per failure retry
 
   void validate() const {
     MONDE_REQUIRE(prompt_len > 0, "request " << id << " needs prompt_len > 0");

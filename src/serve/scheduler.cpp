@@ -138,6 +138,37 @@ std::vector<moe::MoeLayerWork> ContinuousBatchScheduler::step_works(
   return moe::WorkloadGenerator::merge_layer_works(draws);
 }
 
+std::vector<Duration> ContinuousBatchScheduler::waiting_arrivals() const {
+  std::vector<Duration> out;
+  out.reserve(states_.size() - next_pending_ + queued_.size());
+  for (std::size_t i = next_pending_; i < states_.size(); ++i) {
+    out.push_back(states_[i].request.arrival);
+  }
+  for (const std::size_t idx : queued_) out.push_back(states_[idx].request.arrival);
+  return out;
+}
+
+std::vector<Request> ContinuousBatchScheduler::abort_unfinished() {
+  std::vector<Request> stranded;
+  std::vector<RequestState> kept;
+  kept.reserve(states_.size());
+  for (RequestState& rs : states_) {
+    if (rs.done) {
+      kept.push_back(std::move(rs));
+    } else {
+      stranded.push_back(rs.request);
+    }
+  }
+  states_ = std::move(kept);
+  queued_.clear();
+  active_.clear();
+  next_pending_ = states_.size();
+  live_ = 0;
+  owed_tokens_ = 0;
+  sealed_ = true;  // a failed replica never accepts again
+  return stranded;
+}
+
 void ContinuousBatchScheduler::complete_step(Duration end) {
   bool all_done = true;
   for (const std::size_t idx : active_) {

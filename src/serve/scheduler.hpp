@@ -23,6 +23,13 @@
 // moe::WorkloadGenerator into the per-layer MoeLayerWork a shared decode
 // step executes, which is what makes per-request routing (and therefore
 // latency) independent of admission order.
+//
+// Units: every quantity named *_tokens / *_budget / *_batch counts tokens
+// (or decode slots, which consume one token of budget each); every instant
+// or span is a `Duration` of simulated time (nanosecond-resolution double --
+// DRAM-level cycle counts never surface here, the engine converts them).
+// The scheduler owns no hardware state: it can be driven standalone with
+// hand-written complete_step() times, which is how its unit tests run.
 #pragma once
 
 #include <cstdint>
@@ -118,6 +125,12 @@ class ContinuousBatchScheduler {
   /// O(1) -- a dispatcher snapshots every replica at every arrival.
   [[nodiscard]] std::size_t in_flight() const { return live_; }
 
+  /// Arrival times of every accepted request still waiting for admission
+  /// (pending release or queued). The cluster's autoscaler derives its
+  /// queue-delay pressure signal (now - arrival, per waiting request) from
+  /// this. O(waiting).
+  [[nodiscard]] std::vector<Duration> waiting_arrivals() const;
+
   /// Tokens of work still owed to accepted requests: un-prefilled prompt
   /// tokens plus the remaining decode budget. The size-aware load signal.
   /// O(1), maintained across push/admit/complete_step.
@@ -136,6 +149,14 @@ class ContinuousBatchScheduler {
   /// record first-token/completion times, and retire finished requests
   /// (immediately in continuous mode, batch-at-once in fixed mode).
   void complete_step(Duration end);
+
+  /// Fail-stop support: remove every accepted-but-unfinished request
+  /// (pending, queued, or active) and return the original Requests, in
+  /// (arrival, id) order. Partially decoded work is discarded -- a retry
+  /// elsewhere restarts from scratch, as a real node loss loses the KV
+  /// cache. Completed requests keep their metrics and the scheduler is left
+  /// drained; push() must not be called afterwards.
+  std::vector<Request> abort_unfinished();
 
  private:
   SchedulerConfig cfg_;

@@ -2,20 +2,40 @@
 
 namespace monde::serve {
 
-ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg)
-    : engine_{engine}, cfg_{cfg}, sched_{cfg}, st_{engine.make_state()} {
+ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg, Duration start_at,
+                     FaultSpec fault)
+    : engine_{engine},
+      cfg_{cfg},
+      sched_{cfg},
+      st_{engine.make_state()},
+      start_at_{start_at},
+      fault_{fault} {
   cfg_.validate();
+  fault_.validate();
+  MONDE_REQUIRE(start_at_ >= Duration::zero(), "server cannot boot before t=0");
+  MONDE_REQUIRE(fault_.fail_at > start_at_, "fail-stop must lie after the boot instant");
+  // Booting at start_at: the clock starts there, so no step can begin
+  // earlier while enqueues land in the queue at any time (cold start).
+  st_.now = start_at_;
 }
 
-void ServerSim::enqueue(const Request& rq) { sched_.push(rq); }
+void ServerSim::enqueue(const Request& rq) {
+  MONDE_REQUIRE(!harvested_, "enqueue() on a failed, already-harvested server");
+  sched_.push(rq);
+}
 
 void ServerSim::advance_to(Duration t) {
+  if (failed_) return;  // frozen at the fail-stop instant forever
+  // Death occurs the moment simulated time reaches fail_at: no step starts
+  // at or after it, which the strict-before loop below gives us by clamping.
+  const bool dies = fault_.fail_stop() && t >= fault_.fail_at;
+  if (dies) t = fault_.fail_at;
   for (;;) {
     // A step that would start at or after `t` belongs to a later call: the
     // caller may still enqueue arrivals landing in [t, start). Equally, a
     // step whose end sits at or after `t` keeps its completion deferred, so
     // load snapshots taken at `t` see the mid-step queue state.
-    if (st_.now >= t) return;
+    if (st_.now >= t) break;
     apply_pending_completion();
     sched_.release_arrivals(st_.now);
     const std::vector<RequestState*> newly = sched_.admit();
@@ -23,24 +43,52 @@ void ServerSim::advance_to(Duration t) {
       // Nothing runnable here: fast-forward to the next queued arrival (or
       // hand control back and wait for enqueue()/drain()).
       const Duration next = sched_.next_arrival();
-      if (next >= t) return;
+      if (next >= t) break;
       st_.now = monde::max(st_.now, next);
       continue;
     }
     step(newly);
   }
+  if (dies) fail_now();
 }
 
 Duration ServerSim::next_event_time() const {
+  if (failed_) return Duration::infinite();
   if (sched_.step_ready()) return st_.now;
-  return sched_.next_arrival();
+  // An arrival already at or before the clock (a cold-starting replica
+  // buffers those) becomes runnable the moment the clock can move: the
+  // event time is the clock itself, never the past.
+  return monde::max(st_.now, sched_.next_arrival());
 }
 
 void ServerSim::drain() {
   sched_.seal();
   advance_to(Duration::infinite());
   apply_pending_completion();
-  MONDE_ASSERT(sched_.drained(), "drain() left requests unserved");
+  MONDE_ASSERT(sched_.drained(),
+               (failed_ ? "drain() on a failed server with unharvested stranded requests"
+                        : "drain() left requests unserved"));
+}
+
+void ServerSim::fail_now() {
+  failed_ = true;
+  // A completion landing at or before the instant of death made it; one
+  // landing after dies with the node (its requests strand mid-step).
+  if (completion_pending_ && pending_end_ <= fault_.fail_at) apply_pending_completion();
+  completion_pending_ = false;
+  // The step cut short by the failure only burned cycles up to the death.
+  if (!steps_.empty() && steps_.back().end > fault_.fail_at) {
+    busy_ -= steps_.back().end - fault_.fail_at;
+    steps_.back().end = fault_.fail_at;
+  }
+  st_.now = monde::min(st_.now, fault_.fail_at);
+}
+
+std::vector<Request> ServerSim::harvest_stranded() {
+  MONDE_REQUIRE(failed_, "harvest_stranded() is only valid after a fail-stop");
+  MONDE_REQUIRE(!harvested_, "stranded requests were already harvested");
+  harvested_ = true;
+  return sched_.abort_unfinished();
 }
 
 void ServerSim::apply_pending_completion() {
@@ -67,6 +115,15 @@ void ServerSim::step(const std::vector<RequestState*>& newly) {
   // them so load queries between now and then see the mid-step state.
   completion_pending_ = true;
   pending_end_ = sr.end;
+  // Slow-down fault: dilate the whole step (prefills + decode) about its
+  // start. The engine's internal schedule keeps native spans; the server's
+  // clock and the deferred completion carry the externally imposed factor,
+  // so subsequent steps start (and requests finish) proportionally later.
+  const double factor = fault_.factor_at(rec.start);
+  if (factor != 1.0) {
+    st_.now = rec.start + (st_.now - rec.start) * factor;
+    pending_end_ = rec.start + (sr.end - rec.start) * factor;
+  }
   rec.decode_tokens = static_cast<std::int64_t>(slots.size());
   rec.end = st_.now;
   busy_ += rec.end - rec.start;
@@ -86,6 +143,7 @@ ServeReport ServerSim::report() const {
     MONDE_ASSERT(rs.done, "request " << rs.request.id << " never completed");
     RequestMetrics m;
     m.id = rs.request.id;
+    m.attempt = rs.request.attempt;
     m.prompt_len = rs.request.prompt_len;
     m.generated = rs.generated;
     m.arrival = rs.request.arrival;

@@ -39,6 +39,21 @@
 //
 // Aggregate throughput is useful (non-padding) generated tokens divided by
 // the simulated makespan.
+//
+// Replica lifecycle (cluster serving): a server may boot late (`start_at` --
+// an autoscaled replica's cold-start: it accepts enqueues immediately but
+// runs no step before `start_at`) and may carry a FaultSpec (fault.hpp). A
+// slow-down fault stretches affected steps' spans about their start; a
+// fail-stop freezes the server at `fail_at` -- the step in flight at the
+// instant of death loses its effects, and harvest_stranded() hands the
+// accepted-but-unfinished requests back to the cluster for re-dispatch.
+//
+// Units: token counts are tokens; all instants/spans are simulated-time
+// `Duration`s (nanosecond-resolution doubles; cycle counts never surface at
+// this layer). The engine reference passed to the constructor must outlive
+// the server, and one engine must not be shared by two concurrently-driven
+// servers (each run threads its own EngineState but draws from the engine's
+// per-request workload streams).
 #pragma once
 
 #include <cstdint>
@@ -46,6 +61,7 @@
 
 #include "common/stats.hpp"
 #include "core/engine.hpp"
+#include "serve/fault.hpp"
 #include "serve/scheduler.hpp"
 
 namespace monde::serve {
@@ -59,9 +75,13 @@ struct StepRecord {
   std::int64_t decode_tokens = 0;   ///< decode slots (incl. fixed-mode padding)
 };
 
-/// Final per-request latency accounting.
+/// Final per-request latency accounting. `arrival` is the instant the
+/// request joined *this* server's queue -- for a failure retry that is the
+/// re-dispatch instant; the cluster re-bases its fleet-level copy to the
+/// original trace arrival so the retry delay lands in the latency tail.
 struct RequestMetrics {
   std::uint64_t id = 0;
+  std::uint32_t attempt = 0;  ///< dispatch attempt that finally served it
   std::int64_t prompt_len = 0;
   std::int64_t generated = 0;
   Duration arrival = Duration::zero();
@@ -97,18 +117,25 @@ struct ServeReport {
 /// Drives one InferenceEngine through a request trace under one scheduler.
 class ServerSim {
  public:
-  ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg);
+  /// `engine` must outlive the server and must not be driven by anything
+  /// else concurrently. `start_at` is the boot instant (no step starts
+  /// earlier; enqueues are accepted at any time); `fault` is the replica's
+  /// fault plan -- a fail-stop must lie strictly after `start_at`.
+  ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg,
+            Duration start_at = Duration::zero(), FaultSpec fault = {});
 
   // --- Incremental event API (what a cluster dispatcher drives) -----------
 
   /// Hand the server one request; it joins the queue at `rq.arrival`
   /// (dispatch is zero-latency). Requests must arrive in (arrival, id)
-  /// order and before drain().
+  /// order, before drain(), and never after harvest_stranded().
   void enqueue(const Request& rq);
 
   /// Run every scheduler step that starts strictly before `t`; idle gaps
   /// fast-forward through queued arrivals. See the file comment for the
-  /// strict-before contract.
+  /// strict-before contract. Advancing to or past a fail-stop instant kills
+  /// the server: the step in flight at death loses its effects and no
+  /// further work ever runs. Advancing to a past timestamp is a no-op.
   void advance_to(Duration t);
 
   /// Earliest time at which advance_to() can do work: the current boundary
@@ -119,12 +146,29 @@ class ServerSim {
   /// to run the work.
   [[nodiscard]] Duration next_event_time() const;
 
-  /// No further enqueue(): finish every request still in the system.
+  /// No further enqueue(): finish every request still in the system. On an
+  /// empty queue this is a harmless no-op (the server reports zero
+  /// requests). On a failed server every stranded request must have been
+  /// harvested first.
   void drain();
 
-  /// End of the last completed step (the server's simulated clock).
+  /// End of the last completed step (the server's simulated clock); equals
+  /// `start_at` until the first step runs, and freezes at the fail-stop
+  /// instant once the server dies.
   [[nodiscard]] Duration now() const { return st_.now; }
   [[nodiscard]] bool drained() const { return sched_.drained(); }
+  [[nodiscard]] Duration start_at() const { return start_at_; }
+  [[nodiscard]] const FaultSpec& fault() const { return fault_; }
+
+  /// The server reached its fail-stop instant and is permanently frozen.
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// After a fail-stop: remove and return every accepted-but-unfinished
+  /// request (in (arrival, id) order) so the cluster can re-dispatch them.
+  /// Partial decode progress is lost with the node (retries restart from
+  /// scratch). Requires failed(); call at most once; enqueue() is invalid
+  /// afterwards and drain()/report() then cover only completed requests.
+  [[nodiscard]] std::vector<Request> harvest_stranded();
 
   /// Live load, for dispatch decisions (see ContinuousBatchScheduler).
   /// Requests retired by a step still in flight at the last advance_to()
@@ -133,6 +177,16 @@ class ServerSim {
   [[nodiscard]] std::int64_t outstanding_tokens() const {
     return sched_.outstanding_tokens();
   }
+
+  /// Arrival times of accepted requests still awaiting admission (the
+  /// autoscaler's queue-delay signal). O(waiting).
+  [[nodiscard]] std::vector<Duration> waiting_arrivals() const {
+    return sched_.waiting_arrivals();
+  }
+
+  /// Steps executed so far (including one whose completion is still
+  /// pending); the cluster folds their spans into its health EWMA.
+  [[nodiscard]] const std::vector<StepRecord>& steps() const { return steps_; }
 
   /// Metrics for everything served so far. Requires drained().
   [[nodiscard]] ServeReport report() const;
@@ -151,14 +205,22 @@ class ServerSim {
   /// Apply the deferred complete_step() of the last executed step.
   void apply_pending_completion();
 
+  /// Freeze at the fail-stop instant: apply a pending completion that
+  /// landed in time, discard one that did not, clamp the clock.
+  void fail_now();
+
   core::InferenceEngine& engine_;
   SchedulerConfig cfg_;
   ContinuousBatchScheduler sched_;
   core::EngineState st_;
+  Duration start_at_ = Duration::zero();
+  FaultSpec fault_;
   std::vector<StepRecord> steps_;
   Duration busy_ = Duration::zero();
   bool completion_pending_ = false;     ///< the last step's effects not yet applied
   Duration pending_end_ = Duration::zero();
+  bool failed_ = false;     ///< fail-stop instant reached; frozen forever
+  bool harvested_ = false;  ///< stranded requests already handed back
 };
 
 }  // namespace monde::serve

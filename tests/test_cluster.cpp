@@ -2,6 +2,7 @@
 // multi-replica ClusterSim, and its equivalence to a single ServerSim.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <set>
 
@@ -85,6 +86,45 @@ TEST(Dispatch, PowerOfTwoIsDeterministicAndInRange) {
   EXPECT_EQ(single->pick(snapshots({42}, {42})), 0u);
 }
 
+TEST(Dispatch, EligibleSnapshotsFilterHealth) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<ReplicaSnapshot> all = snapshots({1, 2, 3, 4}, {10, 20, 30, 40});
+  // All healthy: the filter is the identity (the fault-free fast path).
+  EXPECT_EQ(eligible_snapshots(all, inf).size(), 4u);
+
+  // Non-accepting replicas are excluded outright...
+  all[1].accepting = false;
+  auto out = eligible_snapshots(all, inf);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].replica, 2u);  // order and indices preserved
+  // ...and a stale heartbeat is an exclusion too (an undetected death).
+  all[2].heartbeat_age_ms = 9.0;
+  out = eligible_snapshots(all, inf, /*stale_age_ms=*/6.0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].replica, 0u);
+  EXPECT_EQ(out[1].replica, 3u);
+
+  // Warming replicas stay eligible: they accept and queue.
+  all[3].warming = true;
+  EXPECT_EQ(eligible_snapshots(all, inf, 6.0).size(), 2u);
+
+  // The slow-EWMA cut drops outliers but never empties the set.
+  std::vector<ReplicaSnapshot> fleet = snapshots({0, 0, 0}, {0, 0, 0});
+  fleet[0].step_ewma_ms = 1.0;
+  fleet[1].step_ewma_ms = 1.2;
+  fleet[2].step_ewma_ms = 9.0;  // > 2x median
+  out = eligible_snapshots(fleet, /*slow_ewma_factor=*/2.0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].replica, 0u);
+  EXPECT_EQ(out[1].replica, 1u);
+  for (ReplicaSnapshot& s : fleet) s.step_ewma_ms = 50.0;  // all equally "slow"
+  EXPECT_EQ(eligible_snapshots(fleet, 2.0).size(), 3u);
+
+  // Every replica failed/retired: the cluster cannot place the request.
+  for (ReplicaSnapshot& s : all) s.accepting = false;
+  EXPECT_THROW((void)eligible_snapshots(all, inf), Error);
+}
+
 TEST(Dispatch, RejectsEmptySnapshot) {
   for (const DispatchPolicy policy : all_dispatch_policies()) {
     auto d = make_dispatcher(policy);
@@ -140,10 +180,10 @@ TEST(ClusterSim, LoadAwarePoliciesBeatRoundRobinOnBurstyTrace) {
   weak.fixed_batch = 4;
   const auto p95_ttft = [&](DispatchPolicy policy) {
     std::vector<ReplicaSpec> specs;
-    specs.push_back({core::StrategyKind::kMondeLoadBalanced, strong, 1});
-    specs.push_back({core::StrategyKind::kMondeLoadBalanced, strong, 2});
-    specs.push_back({core::StrategyKind::kMondeLoadBalanced, strong, 3});
-    specs.push_back({core::StrategyKind::kGpuPmove, weak, 4});
+    specs.push_back({core::StrategyKind::kMondeLoadBalanced, strong, 1, {}});
+    specs.push_back({core::StrategyKind::kMondeLoadBalanced, strong, 2, {}});
+    specs.push_back({core::StrategyKind::kMondeLoadBalanced, strong, 3, {}});
+    specs.push_back({core::StrategyKind::kGpuPmove, weak, 4, {}});
     ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(),
                        moe::SkewProfile::switch_like(), specs};
     const auto dispatcher = make_dispatcher(policy, 17);
@@ -237,8 +277,8 @@ TEST(ClusterSim, SingleReplicaReproducesServerSimBitIdentically) {
 TEST(ClusterSim, HeterogeneousReplicasServeTheWholeTrace) {
   SchedulerConfig cfg;
   std::vector<ReplicaSpec> specs;
-  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, 1});
-  specs.push_back({core::StrategyKind::kGpuPmove, cfg, 2});
+  specs.push_back({core::StrategyKind::kMondeLoadBalanced, cfg, 1, {}});
+  specs.push_back({core::StrategyKind::kGpuPmove, cfg, 2, {}});
   ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
                      specs};
   const auto dispatcher = make_dispatcher(DispatchPolicy::kLeastOutstandingTokens);
@@ -252,6 +292,211 @@ TEST(ClusterSim, HeterogeneousReplicasServeTheWholeTrace) {
   }
   EXPECT_GT(rep.tokens_per_s, 0.0);
   EXPECT_GE(rep.imbalance, 1.0);  // both replicas served something
+}
+
+// --- Failure injection --------------------------------------------------------
+
+TEST(ClusterSim, NoFaultConfiguredRunMatchesDefaultRunBitIdentically) {
+  // Carrying an explicit ClusterConfig (health checking armed, retry/warmup
+  // configured) must not perturb a fault-free, autoscaler-off run: the
+  // health filter is the identity when every replica is healthy. Together
+  // with SingleReplicaReproducesServerSimBitIdentically this pins the PR 3
+  // behavior of the elastic cluster layer.
+  const auto trace = poisson_trace(14, 70.0, small_shape(), 21);
+  const auto run_with = [&](ClusterConfig cfg) {
+    ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(),
+                       moe::SkewProfile::switch_like(),
+                       uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced,
+                                     SchedulerConfig{}),
+                       cfg};
+    const auto dispatcher = make_dispatcher(DispatchPolicy::kPowerOfTwoChoices, 11);
+    return cluster.run(trace, *dispatcher);
+  };
+  ClusterConfig tuned;
+  tuned.health.heartbeat_interval = Duration::millis(1);
+  tuned.health.heartbeat_timeout = Duration::millis(3);
+  tuned.retry_timeout = Duration::millis(7);
+  tuned.warmup = Duration::millis(30);
+  const ClusterReport a = run_with(ClusterConfig{});
+  const ClusterReport b = run_with(tuned);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].id, b.requests[i].id);
+    EXPECT_DOUBLE_EQ(a.requests[i].first_token.ns(), b.requests[i].first_token.ns());
+    EXPECT_DOUBLE_EQ(a.requests[i].completion.ns(), b.requests[i].completion.ns());
+  }
+  for (std::size_t i = 0; i < a.replicas.size(); ++i) {
+    EXPECT_EQ(a.replicas[i].dispatched, b.replicas[i].dispatched);
+    EXPECT_DOUBLE_EQ(a.replicas[i].utilization, b.replicas[i].utilization);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan.ns(), b.makespan.ns());
+  EXPECT_TRUE(a.events.empty());
+  EXPECT_TRUE(b.events.empty());
+  EXPECT_EQ(a.retries, 0u);
+}
+
+TEST(ClusterSim, FailStopRequestsAllCompleteViaRetry) {
+  // Replica 1 dies mid-trace. The dispatcher keeps feeding it until the
+  // heartbeat monitor declares it dead; everything stranded there (queued,
+  // mid-decode, or dispatched into the detection window) must be harvested
+  // and complete elsewhere, with the retry delay visible in the metrics.
+  const auto trace = bursty_trace(24, 6, Duration::millis(25), small_shape(), 13);
+  ClusterConfig cfg;
+  cfg.health.heartbeat_interval = Duration::millis(2);
+  cfg.health.heartbeat_timeout = Duration::millis(6);
+  cfg.retry_timeout = Duration::millis(2);
+  auto specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  specs[1].fault.fail_at = Duration::millis(30);
+  ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                     specs, cfg};
+  const auto dispatcher = make_dispatcher(DispatchPolicy::kJoinShortestQueue, 7);
+  const ClusterReport rep = cluster.run(trace, *dispatcher);
+
+  // Nothing lost: the fleet union is exactly the trace, once each.
+  ASSERT_EQ(rep.requests.size(), trace.size());
+  std::set<std::uint64_t> ids;
+  for (const auto& m : rep.requests) ids.insert(m.id);
+  EXPECT_EQ(ids.size(), trace.size());
+
+  ASSERT_EQ(rep.replicas.size(), 3u);
+  const ReplicaReport& dead = rep.replicas[1];
+  EXPECT_TRUE(dead.failed);
+  EXPECT_DOUBLE_EQ(dead.alive_until.ms(), 30.0);
+  // The dead replica's report covers only requests it completed in time...
+  for (const auto& m : dead.serve.requests) {
+    EXPECT_LE(m.completion, specs[1].fault.fail_at);
+  }
+  // ...and its clock froze at death.
+  EXPECT_LE(dead.serve.makespan, specs[1].fault.fail_at);
+
+  // Detection lags death by the heartbeat model; retries land after the
+  // retry timeout and their completions carry the full failure cost.
+  const Duration detect = failure_detection_time(specs[1].fault.fail_at, cfg.health);
+  EXPECT_GT(detect, specs[1].fault.fail_at);
+  EXPECT_GT(rep.retries, 0u);
+  bool saw_fail = false, saw_detect = false;
+  std::size_t retry_events = 0;
+  for (const ClusterEvent& ev : rep.events) {
+    switch (ev.kind) {
+      case ClusterEvent::Kind::kFailStop:
+        saw_fail = true;
+        EXPECT_DOUBLE_EQ(ev.time.ms(), 30.0);
+        break;
+      case ClusterEvent::Kind::kFailureDetected:
+        saw_detect = true;
+        EXPECT_DOUBLE_EQ(ev.time.ns(), detect.ns());
+        break;
+      case ClusterEvent::Kind::kRetry:
+        ++retry_events;
+        EXPECT_DOUBLE_EQ(ev.time.ns(), (detect + cfg.retry_timeout).ns());
+        EXPECT_NE(ev.replica, 1u);  // never back onto the dead replica
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_fail);
+  EXPECT_TRUE(saw_detect);
+  EXPECT_EQ(retry_events, rep.retries);
+  // Retried requests restarted elsewhere after detection + timeout, and the
+  // fleet metrics measure them from their original arrival.
+  std::size_t retried = 0;
+  for (const auto& m : rep.requests) {
+    if (m.attempt == 0) continue;
+    ++retried;
+    EXPECT_GT(m.first_token, detect + cfg.retry_timeout);
+    // Fleet metrics are re-based to the ORIGINAL arrival (which necessarily
+    // precedes the failure), not the retry instant (which follows it).
+    EXPECT_LT(m.arrival, specs[1].fault.fail_at);
+  }
+  EXPECT_EQ(retried, rep.retries);
+}
+
+TEST(ClusterSim, FailStopAfterLastArrivalStillRecoversStrandedWork) {
+  // The failure (and therefore its detection) can lie beyond the last
+  // arrival: the cluster must still process the detection, retry, and
+  // complete everything rather than hanging the stranded tail.
+  const auto trace = closed_loop_trace(10, small_shape(), 9);
+  ClusterConfig cfg;
+  auto specs = uniform_fleet(2, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  specs[0].fault.fail_at = Duration::millis(4);  // mid-backlog, after t=0 arrivals
+  ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                     specs, cfg};
+  const auto dispatcher = make_dispatcher(DispatchPolicy::kRoundRobin);
+  const ClusterReport rep = cluster.run(trace, *dispatcher);
+  ASSERT_EQ(rep.requests.size(), trace.size());
+  EXPECT_TRUE(rep.replicas[0].failed);
+  EXPECT_GT(rep.retries, 0u);
+}
+
+TEST(ClusterSim, SlowdownStretchesStepsAndEwmaFilterRoutesAround) {
+  // Server-level: a 3x slow-down covering the whole run must dilate every
+  // step span by exactly the factor relative to an identical fault-free
+  // twin. A closed-loop trace makes admission time-independent, so the two
+  // runs execute the same step sequence and steps correspond one to one.
+  const auto trace = closed_loop_trace(8, small_shape(), 8);
+  SchedulerConfig sched;
+  sched.token_budget = 64;  // force several steps
+  FaultSpec slow;
+  slow.slow_from = Duration::zero();
+  slow.slow_until = Duration::infinite();
+  slow.slow_factor = 3.0;
+  core::InferenceEngine ref_engine{core::SystemConfig::dac24(), tiny_model(),
+                                   moe::SkewProfile::switch_like(),
+                                   core::StrategyKind::kMondeLoadBalanced, 5};
+  const ServeReport ref = ServerSim{ref_engine, sched}.run(trace);
+  core::InferenceEngine slow_engine{core::SystemConfig::dac24(), tiny_model(),
+                                    moe::SkewProfile::switch_like(),
+                                    core::StrategyKind::kMondeLoadBalanced, 5};
+  const ServeReport degraded =
+      ServerSim{slow_engine, sched, Duration::zero(), slow}.run(trace);
+  ASSERT_EQ(degraded.steps.size(), ref.steps.size());
+  ASSERT_GT(ref.steps.size(), 1u);
+  for (std::size_t i = 0; i < ref.steps.size(); ++i) {
+    const double ref_span = (ref.steps[i].end - ref.steps[i].start).ns();
+    const double slow_span = (degraded.steps[i].end - degraded.steps[i].start).ns();
+    EXPECT_NEAR(slow_span, 3.0 * ref_span, 1e-3) << "step " << i;
+  }
+  EXPECT_NEAR(degraded.makespan.ns(), 3.0 * ref.makespan.ns(), 1.0);
+
+  // Cluster-level: with the slow-EWMA filter armed, the degraded replica
+  // receives fewer requests than with health-oblivious dispatch.
+  const auto cluster_trace = poisson_trace(24, 120.0, small_shape(), 12);
+  const auto dispatched_to_slow = [&](double slow_ewma_factor) {
+    ClusterConfig cfg;
+    cfg.health.slow_ewma_factor = slow_ewma_factor;
+    auto specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+    specs[2].fault.slow_from = Duration::zero();
+    specs[2].fault.slow_until = Duration::infinite();
+    specs[2].fault.slow_factor = 8.0;
+    ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(),
+                       moe::SkewProfile::switch_like(), specs, cfg};
+    const auto dispatcher = make_dispatcher(DispatchPolicy::kRoundRobin);
+    const ClusterReport rep = cluster.run(cluster_trace, *dispatcher);
+    return rep.replicas[2].dispatched;
+  };
+  const std::size_t oblivious = dispatched_to_slow(
+      std::numeric_limits<double>::infinity());
+  const std::size_t aware = dispatched_to_slow(2.0);
+  EXPECT_LT(aware, oblivious);
+}
+
+TEST(ClusterSim, HeartbeatModelIsConsistent) {
+  HealthConfig cfg;
+  cfg.heartbeat_interval = Duration::millis(2);
+  cfg.heartbeat_timeout = Duration::millis(6);
+  // A live replica's heartbeat age never exceeds one interval.
+  EXPECT_DOUBLE_EQ(
+      last_ok_heartbeat(Duration::millis(7), Duration::infinite(), cfg).ms(), 6.0);
+  // A replica dying at 9 ms last answered the 8 ms poll...
+  EXPECT_DOUBLE_EQ(
+      last_ok_heartbeat(Duration::millis(20), Duration::millis(9), cfg).ms(), 8.0);
+  // ...a replica dying exactly on a poll instant missed that poll...
+  EXPECT_DOUBLE_EQ(
+      last_ok_heartbeat(Duration::millis(20), Duration::millis(8), cfg).ms(), 6.0);
+  // ...and detection fires when the age crosses the timeout.
+  EXPECT_DOUBLE_EQ(failure_detection_time(Duration::millis(9), cfg).ms(), 14.0);
+  EXPECT_GE(failure_detection_time(Duration::millis(1), cfg), Duration::millis(1));
 }
 
 TEST(ClusterSim, RejectsBadConfigurations) {

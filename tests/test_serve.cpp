@@ -412,6 +412,56 @@ TEST(ServerSim, ClosedLoopSaturatesBudget) {
   EXPECT_EQ(rep.requests.size(), 8u);
 }
 
+TEST(ServerSim, DrainOnEmptyQueueIsAHarmlessNoOp) {
+  // The incremental event API allows sealing a server that never received a
+  // request (e.g. a cluster replica no dispatcher ever picked): drain()
+  // must succeed vacuously and report() must produce an empty, all-zero
+  // report rather than tripping an assertion.
+  SchedulerConfig cfg;
+  auto engine = make_engine(core::StrategyKind::kMondeAmove);
+  ServerSim sim{engine, cfg};
+  EXPECT_TRUE(sim.drained());  // vacuously drained before any enqueue
+  sim.drain();
+  EXPECT_TRUE(sim.drained());
+  EXPECT_EQ(sim.next_event_time(), Duration::infinite());
+  const ServeReport rep = sim.report();
+  EXPECT_TRUE(rep.requests.empty());
+  EXPECT_TRUE(rep.steps.empty());
+  EXPECT_EQ(rep.generated_tokens, 0u);
+  EXPECT_DOUBLE_EQ(rep.makespan.ns(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.tokens_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(rep.ttft_ms.p99, 0.0);
+}
+
+TEST(ServerSim, AdvanceToPastTimestampIsANoOp) {
+  // advance_to() must be monotone: a cluster driver that already advanced a
+  // replica to t2 may later ask for t1 < t2 (e.g. interleaving many
+  // replicas); the call must change nothing -- not even run an extra step.
+  SchedulerConfig cfg;
+  auto engine = make_engine(core::StrategyKind::kMondeAmove);
+  ServerSim sim{engine, cfg};
+  sim.enqueue({0, Duration::millis(2), 8, 4});
+  sim.enqueue({1, Duration::millis(30), 8, 2});
+  sim.advance_to(Duration::millis(20));  // runs request 0's steps
+  const Duration now = sim.now();
+  const std::size_t in_flight = sim.in_flight();
+  const std::int64_t owed = sim.outstanding_tokens();
+  EXPECT_GT(now, Duration::millis(2));
+
+  sim.advance_to(Duration::millis(1));  // in the past: nothing may move
+  sim.advance_to(Duration::zero());
+  sim.advance_to(now);  // the boundary itself is also strictly-before
+  EXPECT_DOUBLE_EQ(sim.now().ns(), now.ns());
+  EXPECT_EQ(sim.in_flight(), in_flight);
+  EXPECT_EQ(sim.outstanding_tokens(), owed);
+
+  sim.drain();  // the remaining request still completes normally
+  const ServeReport rep = sim.report();
+  ASSERT_EQ(rep.requests.size(), 2u);
+  EXPECT_EQ(rep.requests[0].generated, 4);
+  EXPECT_EQ(rep.requests[1].generated, 2);
+}
+
 TEST(ServerSim, RejectsEmptyTrace) {
   SchedulerConfig cfg;
   auto engine = make_engine(core::StrategyKind::kMondeAmove);
