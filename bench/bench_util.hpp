@@ -6,15 +6,77 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "common/error.hpp"
 #include "core/engine.hpp"
 #include "core/load_balancer.hpp"
 
 namespace monde::bench {
+
+/// Command-line surface shared by the CI-facing benches:
+///   [--smoke]          seconds-scale configuration (fast CI runs it)
+///   [--json <path>]    also emit deterministic metrics as JSON (the bench
+///                      regression gate: scripts/check_bench_budget.py
+///                      compares them against bench/budgets.json)
+struct BenchArgs {
+  bool smoke = false;
+  std::string json_path;  ///< empty = no JSON output
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--json") {
+      MONDE_REQUIRE(i + 1 < argc, "--json needs a <path> argument");
+      args.json_path = argv[++i];
+    } else {
+      MONDE_REQUIRE(false, "unknown bench argument '" << arg
+                                                      << "' (expected --smoke / --json <path>)");
+    }
+  }
+  return args;
+}
+
+/// Deterministic simulated-metric sink for the bench regression gate: flat
+/// name -> value pairs, written as sorted JSON so diffs are stable. Values
+/// are simulated quantities (tokens/s, percentile latencies, utilization)
+/// -- never wall-clock -- so the same binary always writes the same file.
+class BenchMetrics {
+ public:
+  explicit BenchMetrics(std::string bench) : bench_{std::move(bench)} {}
+
+  void add(const std::string& name, double value) { metrics_[name] = value; }
+
+  /// Write the metrics JSON; no-op when `path` is empty (no --json given).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out{path};
+    MONDE_REQUIRE(out.good(), "cannot open --json path '" << path << "' for writing");
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"metrics\": {";
+    const char* sep = "\n";
+    for (const auto& [name, value] : metrics_) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.10g", value);
+      out << sep << "    \"" << name << "\": " << buf;
+      sep = ",\n";
+    }
+    out << "\n  }\n}\n";
+    MONDE_REQUIRE(out.good(), "failed writing --json output to '" << path << "'");
+    std::printf("wrote %zu metric(s) to %s\n", metrics_.size(), path.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::map<std::string, double> metrics_;  ///< sorted -> deterministic output
+};
 
 /// Banner with the figure/table id and a one-line description.
 inline void banner(const std::string& id, const std::string& what) {

@@ -10,8 +10,9 @@
 // failure recovery: a replica fail-stops mid-trace and the autoscaler
 // replaces the lost capacity.
 //
-//   ./bench/serve_autoscale            full sweep
-//   ./bench/serve_autoscale --smoke    tiny CI configuration
+//   ./bench/serve_autoscale                    full sweep
+//   ./bench/serve_autoscale --smoke            tiny CI configuration
+//   ./bench/serve_autoscale --smoke --json f   + deterministic metrics JSON
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -23,7 +24,9 @@
 
 int main(int argc, char** argv) {
   using namespace monde;
-  const bool smoke = argc > 1 && std::string{argv[1]} == "--smoke";
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const bool smoke = args.smoke;
+  bench::BenchMetrics metrics{"serve_autoscale"};
 
   bench::banner("elastic cluster serving",
                 smoke ? "autoscaling vs static fleets, smoke configuration"
@@ -63,11 +66,16 @@ int main(int argc, char** argv) {
 
   Table table{{"fleet", "tok/s", "TTFT p50 (ms)", "TTFT p95 (ms)", "E2E p95 (ms)",
                "peak", "replica-s", "fleet util"}};
-  const auto add_row = [&](const std::string& name, const serve::ClusterReport& rep) {
+  const auto add_row = [&](const std::string& name, const serve::ClusterReport& rep,
+                           const std::string& metric_key) {
     table.add_row({name, Table::num(rep.tokens_per_s, 1), Table::num(rep.ttft_ms.p50, 2),
                    Table::num(rep.ttft_ms.p95, 2), Table::num(rep.e2e_ms.p95, 2),
                    std::to_string(rep.peak_replicas), Table::num(rep.replica_seconds, 3),
                    Table::num(100.0 * rep.fleet_utilization, 1) + "%"});
+    metrics.add(metric_key + ".tokens_per_s", rep.tokens_per_s);
+    metrics.add(metric_key + ".e2e_p95_ms", rep.e2e_ms.p95);
+    metrics.add(metric_key + ".utilization", rep.fleet_utilization);
+    metrics.add(metric_key + ".replica_seconds", rep.replica_seconds);
   };
 
   const std::vector<std::size_t> static_sizes =
@@ -77,7 +85,8 @@ int main(int argc, char** argv) {
         sys, model, prof,
         serve::uniform_fleet(n, core::StrategyKind::kMondeLoadBalanced, sched), ccfg};
     const auto dispatcher = serve::make_dispatcher(serve::DispatchPolicy::kJoinShortestQueue);
-    add_row("static x" + std::to_string(n), cluster.run(trace, *dispatcher));
+    add_row("static x" + std::to_string(n), cluster.run(trace, *dispatcher),
+            "static_x" + std::to_string(n));
   }
 
   const std::vector<double> warmups_ms =
@@ -93,7 +102,8 @@ int main(int argc, char** argv) {
     std::string label = "autoscaled (warmup ";
     label += Table::num(warmup_ms, 0);
     label += " ms)";
-    add_row(label, cluster.run(trace, *dispatcher, autoscaler.get()));
+    add_row(label, cluster.run(trace, *dispatcher, autoscaler.get()),
+            "autoscaled_warmup" + Table::num(warmup_ms, 0) + "ms");
   }
   std::printf("%s\n", table.str().c_str());
 
@@ -116,6 +126,10 @@ int main(int argc, char** argv) {
                   Table::num(rep.tokens_per_s, 1), Table::num(rep.ttft_ms.p95, 2),
                   Table::num(rep.e2e_ms.p95, 2), std::to_string(rep.retries),
                   std::to_string(rep.peak_replicas)});
+      const std::string key = elastic ? "failstop_elastic" : "failstop_static";
+      metrics.add(key + ".tokens_per_s", rep.tokens_per_s);
+      metrics.add(key + ".e2e_p95_ms", rep.e2e_ms.p95);
+      metrics.add(key + ".retries", static_cast<double>(rep.retries));
     }
     std::printf("%s\n", ft.str().c_str());
   }
@@ -125,5 +139,6 @@ int main(int argc, char** argv) {
               "the give-back growing in the modelled cold-start latency. Under a\n"
               "fail-stop every request still completes via heartbeat detection and\n"
               "retry, and the autoscaler refills the lost capacity.\n");
+  metrics.write(args.json_path);
   return 0;
 }

@@ -7,8 +7,9 @@
 // -outstanding-tokens, power-of-two) should separate from round-robin most
 // under bursty traffic, where replicas hold uneven backlogs.
 //
-//   ./bench/serve_cluster_policies            full sweep
-//   ./bench/serve_cluster_policies --smoke    tiny CI configuration
+//   ./bench/serve_cluster_policies                    full sweep
+//   ./bench/serve_cluster_policies --smoke            tiny CI configuration
+//   ./bench/serve_cluster_policies --smoke --json f   + deterministic metrics
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -21,7 +22,9 @@
 
 int main(int argc, char** argv) {
   using namespace monde;
-  const bool smoke = argc > 1 && std::string{argv[1]} == "--smoke";
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const bool smoke = args.smoke;
+  bench::BenchMetrics metrics{"serve_cluster_policies"};
 
   bench::banner("cluster serving",
                 smoke ? "dispatch policies, smoke configuration"
@@ -74,6 +77,9 @@ int main(int argc, char** argv) {
         table.add_row({std::to_string(n), rep.policy, Table::num(rep.tokens_per_s, 1),
                        Table::num(rep.ttft_ms.p50, 2), Table::num(rep.ttft_ms.p95, 2),
                        Table::num(rep.e2e_ms.p95, 2), Table::num(rep.imbalance, 2)});
+        const std::string key = tc.name + ".r" + std::to_string(n) + "." + rep.policy;
+        metrics.add(key + ".tokens_per_s", rep.tokens_per_s);
+        metrics.add(key + ".e2e_p95_ms", rep.e2e_ms.p95);
       }
     }
     std::printf("%s\n", table.str().c_str());
@@ -109,6 +115,10 @@ int main(int argc, char** argv) {
                      Table::num(rep.ttft_ms.p50, 2), Table::num(rep.ttft_ms.p95, 2),
                      Table::num(rep.e2e_ms.p95, 2), Table::num(100.0 * share, 1) + "%",
                      Table::num(rep.imbalance, 2)});
+      const std::string key = "hetero." + rep.policy;
+      metrics.add(key + ".tokens_per_s", rep.tokens_per_s);
+      metrics.add(key + ".ttft_p95_ms", rep.ttft_ms.p95);
+      metrics.add(key + ".e2e_p95_ms", rep.e2e_ms.p95);
     }
     std::printf("%s\n", table.str().c_str());
   }
@@ -119,5 +129,6 @@ int main(int argc, char** argv) {
               "queue dominates the TTFT tail, while join-shortest-queue and least-\n"
               "outstanding-tokens route around the backlog -- power-of-two-choices gets\n"
               "most of that improvement probing only two replicas per request.\n");
+  metrics.write(args.json_path);
   return 0;
 }

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare --json bench outputs against pinned budgets.
+
+Every CI-facing bench accepts `--json <path>` and writes deterministic
+simulated metrics (tokens/s, percentile latencies, utilization -- never
+wall-clock). This script compares those outputs against the budgets pinned
+in bench/budgets.json and fails on any metric that drifts outside its
+tolerance band, in either direction: an unexpected improvement is also a
+behavior change, and re-pinning it is a one-line --update away.
+
+Usage:
+    check_bench_budget.py [--budgets bench/budgets.json] result.json...
+    check_bench_budget.py --update result.json...   # (re)pin from results
+
+Budget file format:
+    {
+      "default_tolerance": 0.10,
+      "benches": {
+        "<bench name>": {
+          "metrics": {
+            "<metric>": 123.4,                            # default tolerance
+            "<metric>": {"value": 123.4, "tolerance": 0.25}
+          }
+        }
+      }
+    }
+
+Tolerances are relative (|measured - pinned| / max(|pinned|, eps)). A
+metric present in the budget but missing from the result (or vice versa)
+is an error: silently dropped coverage is how gates rot.
+"""
+
+import argparse
+import json
+import sys
+
+EPS = 1e-12
+
+
+def load_json(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_bench(name, result_metrics, budget_entry, default_tol):
+    """Returns a list of failure strings for one bench."""
+    failures = []
+    budget_metrics = budget_entry.get("metrics", {})
+    for metric in sorted(set(budget_metrics) | set(result_metrics)):
+        if metric not in result_metrics:
+            failures.append(f"{name}: metric '{metric}' is budgeted but was not emitted")
+            continue
+        if metric not in budget_metrics:
+            failures.append(
+                f"{name}: metric '{metric}' is emitted but has no budget "
+                f"(pin it with --update)"
+            )
+            continue
+        entry = budget_metrics[metric]
+        if isinstance(entry, dict):
+            pinned = float(entry["value"])
+            tol = float(entry.get("tolerance", default_tol))
+        else:
+            pinned = float(entry)
+            tol = default_tol
+        measured = float(result_metrics[metric])
+        rel = abs(measured - pinned) / max(abs(pinned), EPS)
+        if rel > tol:
+            failures.append(
+                f"{name}: '{metric}' = {measured:.6g} vs budget {pinned:.6g} "
+                f"(drift {100 * rel:.1f}% > tolerance {100 * tol:.0f}%)"
+            )
+    return failures
+
+
+def update_budgets(budgets_path, results, default_tol):
+    try:
+        budgets = load_json(budgets_path)
+    except FileNotFoundError:
+        budgets = {"default_tolerance": default_tol, "benches": {}}
+    benches = budgets.setdefault("benches", {})
+    for result in results:
+        name = result["bench"]
+        old = benches.get(name, {}).get("metrics", {})
+        new_metrics = {}
+        for metric, value in sorted(result["metrics"].items()):
+            prev = old.get(metric)
+            if isinstance(prev, dict) and "tolerance" in prev:
+                # Keep a hand-tuned per-metric tolerance across re-pins.
+                new_metrics[metric] = {"value": value, "tolerance": prev["tolerance"]}
+            else:
+                new_metrics[metric] = value
+        benches[name] = {"metrics": new_metrics}
+    with open(budgets_path, "w", encoding="utf-8") as f:
+        json.dump(budgets, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"pinned {len(results)} bench(es) into {budgets_path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budgets", default="bench/budgets.json")
+    parser.add_argument(
+        "--update", action="store_true", help="(re)pin budgets from the given results"
+    )
+    parser.add_argument("results", nargs="+", help="--json outputs to check")
+    args = parser.parse_args()
+
+    results = []
+    for path in args.results:
+        result = load_json(path)
+        if "bench" not in result or "metrics" not in result:
+            print(f"error: {path} is not a bench --json output", file=sys.stderr)
+            return 2
+        results.append(result)
+
+    if args.update:
+        update_budgets(args.budgets, results, default_tol=0.10)
+        return 0
+
+    budgets = load_json(args.budgets)
+    default_tol = float(budgets.get("default_tolerance", 0.10))
+    benches = budgets.get("benches", {})
+    failures = []
+    checked = 0
+    # Coverage is part of the gate: every pinned bench must be presented.
+    for name in sorted(set(benches) - {r["bench"] for r in results}):
+        failures.append(
+            f"{name}: budgeted bench missing from the provided results "
+            f"(the gate must see every pinned bench)"
+        )
+    for result in results:
+        name = result["bench"]
+        if name not in benches:
+            failures.append(f"{name}: no budget entry (pin it with --update)")
+            continue
+        failures.extend(check_bench(name, result["metrics"], benches[name], default_tol))
+        checked += len(result["metrics"])
+    if failures:
+        print(f"bench budget check FAILED ({len(failures)} violation(s)):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"bench budget check passed: {checked} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

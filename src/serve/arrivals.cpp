@@ -1,5 +1,6 @@
 #include "serve/arrivals.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hpp"
@@ -11,6 +12,14 @@ void RequestShape::validate() const {
                 "request shape needs 0 < prompt_min <= prompt_max");
   MONDE_REQUIRE(new_tokens_min > 0 && new_tokens_max >= new_tokens_min,
                 "request shape needs 0 < new_tokens_min <= new_tokens_max");
+  MONDE_REQUIRE(prefix_groups >= 0, "prefix_groups must be non-negative");
+  if (prefix_groups > 0) {
+    MONDE_REQUIRE(shared_fraction >= 0.0 && shared_fraction <= 1.0,
+                  "shared_fraction must lie in [0, 1], got " << shared_fraction);
+    MONDE_REQUIRE(shared_prefix_len > 0 && shared_prefix_len <= prompt_min,
+                  "shared_prefix_len must lie in (0, prompt_min] so every group "
+                  "member actually carries the prefix");
+  }
 }
 
 namespace {
@@ -24,6 +33,9 @@ std::int64_t draw_range(Rng& rng, std::int64_t lo, std::int64_t hi) {
 std::vector<Request> shape_trace(const std::vector<Duration>& arrivals,
                                  const RequestShape& shape, std::uint64_t seed) {
   Rng rng{seed};
+  // Prefix assignment draws from its own stream (like the arrival stream)
+  // so enabling shared prefixes leaves the per-request shapes bit-identical.
+  Rng prefix_rng{seed ^ 0x9e3779b97f4a7c15ULL};
   std::vector<Request> trace;
   trace.reserve(arrivals.size());
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
@@ -32,6 +44,11 @@ std::vector<Request> shape_trace(const std::vector<Duration>& arrivals,
     rq.arrival = arrivals[i];
     rq.prompt_len = draw_range(rng, shape.prompt_min, shape.prompt_max);
     rq.max_new_tokens = draw_range(rng, shape.new_tokens_min, shape.new_tokens_max);
+    if (shape.prefix_groups > 0 && prefix_rng.next_double() < shape.shared_fraction) {
+      rq.prefix_id =
+          1 + prefix_rng.next_below(static_cast<std::uint64_t>(shape.prefix_groups));
+      rq.shared_prefix_len = std::min(shape.shared_prefix_len, rq.prompt_len);
+    }
     rq.validate();
     trace.push_back(rq);
   }

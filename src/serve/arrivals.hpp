@@ -20,11 +20,21 @@ namespace monde::serve {
 
 /// Envelope of request shapes in a generated trace; each request draws its
 /// prompt length and decode budget uniformly from these ranges.
+///
+/// Shared prefixes: with `prefix_groups` > 0, each request joins one of the
+/// groups (uniformly) with probability `shared_fraction`; group members
+/// share their first `shared_prefix_len` prompt tokens (a system prompt or
+/// few-shot header), which a replica's prefix cache can serve without
+/// re-prefilling. Prefix assignment draws from its own RNG stream, so a
+/// trace's arrivals and shapes are bit-identical with prefixes on or off.
 struct RequestShape {
   std::int64_t prompt_min = 64;
   std::int64_t prompt_max = 256;
   std::int64_t new_tokens_min = 8;
   std::int64_t new_tokens_max = 32;
+  int prefix_groups = 0;            ///< shared-prefix groups (0 disables)
+  double shared_fraction = 0.0;     ///< probability a request joins a group
+  std::int64_t shared_prefix_len = 0;  ///< tokens shared (capped to the prompt)
 
   void validate() const;
 };

@@ -25,6 +25,7 @@ void ClusterConfig::validate() const {
   MONDE_REQUIRE(retry_timeout > Duration::zero(), "retry_timeout must be positive");
   MONDE_REQUIRE(warmup >= Duration::zero(), "warmup must be non-negative");
   MONDE_REQUIRE(autoscale_period > Duration::zero(), "autoscale_period must be positive");
+  cache.validate();
 }
 
 std::string to_string(ClusterEvent::Kind kind) {
@@ -34,6 +35,7 @@ std::string to_string(ClusterEvent::Kind kind) {
     case ClusterEvent::Kind::kFailStop: return "fail-stop";
     case ClusterEvent::Kind::kFailureDetected: return "failure-detected";
     case ClusterEvent::Kind::kRetry: return "retry";
+    case ClusterEvent::Kind::kMigrate: return "migrate";
   }
   MONDE_ASSERT(false, "unknown cluster event kind");
   return {};
@@ -66,7 +68,8 @@ void ClusterSim::add_replica(const ReplicaSpec& spec, Duration spawned_at,
   Replica r;
   r.engine = std::make_unique<core::InferenceEngine>(sys_, model_, profile_, spec.strategy,
                                                      spec.seed, shared_sim_);
-  r.server = std::make_unique<ServerSim>(*r.engine, spec.sched, start_at, spec.fault);
+  r.server =
+      std::make_unique<ServerSim>(*r.engine, spec.sched, start_at, spec.fault, cfg_.cache);
   r.name = "replica" + std::to_string(replicas_.size()) + " (" +
            r.engine->strategy().name() + ")";
   r.spawned_at = spawned_at;
@@ -125,20 +128,23 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
                   "duplicate request id " << rq.id << " in trace");
   }
 
-  // The work queue: original arrivals plus failure retries, dispatched in
-  // (time, id) order so per-replica enqueues stay (arrival, id)-ordered.
+  // The work queue: original arrivals plus failure retries and scale-down
+  // migrations, dispatched in (time, id) order so per-replica enqueues stay
+  // (arrival, id)-ordered.
   struct Item {
     Duration time;
     Request rq;
+    bool migrated = false;  ///< re-dispatch came from a retirement, not a failure
   };
   const auto later = [](const Item& a, const Item& b) {
     return a.time != b.time ? a.time > b.time : a.rq.id > b.rq.id;
   };
   std::priority_queue<Item, std::vector<Item>, decltype(later)> pending{later};
-  for (const Request& rq : trace) pending.push(Item{rq.arrival, rq});
+  for (const Request& rq : trace) pending.push(Item{rq.arrival, rq, false});
 
   std::vector<ClusterEvent> events;
   std::size_t retries = 0;
+  std::size_t migrations = 0;
   std::size_t peak = accepting_count();
   Duration next_tick = cfg_.autoscale_period;
 
@@ -147,6 +153,21 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
       r.server->advance_to(t);
       update_ewma(r);
     }
+  };
+  // Work that keeps drain-phase autoscale ticks alive: any replica (even a
+  // retiring one, whose drain extends the makespan survivors are billed to)
+  // still owing requests AND able to serve them without drain() -- a
+  // fixed-mode replica holding an under-full batch waits for a seal that
+  // only drain() provides (next_event_time() is infinite), and ticking on
+  // it forever would hang the loop.
+  const auto fleet_has_live_work = [&] {
+    for (const Replica& r : replicas_) {
+      if (!r.detected && r.server->in_flight() > 0 &&
+          r.server->next_event_time() < Duration::infinite()) {
+        return true;
+      }
+    }
+    return false;
   };
 
   for (;;) {
@@ -162,10 +183,13 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
         det_i = i;
       }
     }
-    // The autoscaler ticks only while arrivals/retries remain: after the
-    // last dispatch the fleet simply drains as-is.
+    // The autoscaler ticks while arrivals/retries remain AND through the
+    // drain phase while any replica still holds work, so late scale-downs
+    // release idle capacity (drain-phase ticks may only scale down).
     const Duration tick_t =
-        (autoscaler != nullptr && !pending.empty()) ? next_tick : Duration::infinite();
+        (autoscaler != nullptr && (!pending.empty() || fleet_has_live_work()))
+            ? next_tick
+            : Duration::infinite();
 
     if (det_t <= item_t && det_t <= tick_t) {
       if (det_t == Duration::infinite()) break;  // nothing left to do
@@ -175,13 +199,26 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
       const Duration died_at = r.server->fault().fail_at;
       events.push_back({ClusterEvent::Kind::kFailStop, died_at, det_i,
                         "replica" + std::to_string(det_i) + " died"});
-      std::vector<Request> stranded = r.server->harvest_stranded();
+      // A replica evacuated by a scale-down migration died empty: its work
+      // already moved on, so there is nothing (and no way) to harvest.
+      std::vector<Request> stranded;
+      if (!r.evacuated) stranded = r.server->harvest_stranded();
       events.push_back({ClusterEvent::Kind::kFailureDetected, det_t, det_i,
                         "heartbeat stale; " + std::to_string(stranded.size()) +
                             " stranded request(s) queued for retry"});
+      const bool resume = cfg_.cache.enabled && cfg_.cache.survive_failstop;
       for (Request rq : stranded) {
         ++rq.attempt;
-        pending.push(Item{det_t + cfg_.retry_timeout, rq});
+        Duration at = det_t + cfg_.retry_timeout;
+        if (resume) {
+          // Surviving-cache mode: the checkpointed prefix is restored onto
+          // the retry replica at the modelled transfer cost.
+          at += cfg_.cache.transfer_time_for(rq.resume.resident_tokens());
+        } else {
+          // Lost-cache mode: the KV state died with the node.
+          rq.resume = ResumeState{};
+        }
+        pending.push(Item{at, rq, false});
       }
       continue;
     }
@@ -208,8 +245,12 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
       if (!waits_ms.empty()) {
         sig.p95_queue_delay_ms = percentile(std::move(waits_ms), 95.0);
       }
-      const std::size_t target = std::max<std::size_t>(autoscaler->target_size(sig), 1);
+      std::size_t target = std::max<std::size_t>(autoscaler->target_size(sig), 1);
       std::size_t capacity = accepting_count();
+      // Drain phase (no arrivals or retries left): scaling up is pure waste
+      // -- no dispatch will ever reach the new replica -- so only honor the
+      // downward direction of the policy's answer.
+      if (pending.empty()) target = std::min(target, capacity);
       while (capacity < target) {
         ReplicaSpec spec = growth_;
         spec.seed = next_seed_++;
@@ -235,10 +276,35 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
         }
         replicas_[victim].retired = true;
         replicas_[victim].retired_at = tick_t;
-        events.push_back({ClusterEvent::Kind::kScaleDown, tick_t, victim,
-                          "retired " + replicas_[victim].name + " (" +
-                              std::to_string(replicas_[victim].server->in_flight()) +
-                              " request(s) left to drain)"});
+        // A victim that silently fail-stopped inside the detection lag
+        // cannot be evacuated -- its state died with it. Retire it plainly;
+        // the heartbeat monitor will harvest its stranded work.
+        if (cfg_.cache.enabled && cfg_.cache.migrate_on_retire &&
+            !replicas_[victim].server->failed()) {
+          // Live migration: the retiree stops at its step boundary and its
+          // unfinished requests move (with their resident KV state, at the
+          // modelled transfer cost) to the surviving fleet. Requests with
+          // no resident state re-dispatch at the tick itself.
+          std::vector<Request> moved = replicas_[victim].server->evacuate();
+          replicas_[victim].evacuated = true;
+          const Duration boundary = monde::max(tick_t, replicas_[victim].server->now());
+          for (Request rq : moved) {
+            ++rq.attempt;
+            const std::int64_t resident = rq.resume.resident_tokens();
+            const Duration at =
+                resident > 0 ? boundary + cfg_.cache.transfer_time_for(resident) : tick_t;
+            pending.push(Item{at, rq, true});
+          }
+          std::string detail = "retired " + replicas_[victim].name + " (migrated ";
+          detail += std::to_string(moved.size());
+          detail += " request(s))";
+          events.push_back({ClusterEvent::Kind::kScaleDown, tick_t, victim, detail});
+        } else {
+          events.push_back({ClusterEvent::Kind::kScaleDown, tick_t, victim,
+                            "retired " + replicas_[victim].name + " (" +
+                                std::to_string(replicas_[victim].server->in_flight()) +
+                                " request(s) left to drain)"});
+        }
         --capacity;
       }
       peak = std::max(peak, accepting_count());
@@ -262,15 +328,24 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
                   "dispatcher picked entry " << pick << " of " << eligible.size());
     const std::size_t idx = eligible[pick].replica;
     Request rq = it.rq;
-    rq.arrival = it.time;  // = the original arrival except for retries
+    rq.arrival = it.time;  // = the original arrival except for re-dispatches
     replicas_[idx].server->enqueue(rq);
     ++replicas_[idx].dispatched;
     if (rq.attempt > 0) {
-      ++retries;
-      events.push_back({ClusterEvent::Kind::kRetry, it.time, idx,
-                        "request " + std::to_string(rq.id) + " attempt " +
-                            std::to_string(rq.attempt) + " -> replica" +
-                            std::to_string(idx)});
+      std::string detail = "request " + std::to_string(rq.id) + " attempt " +
+                           std::to_string(rq.attempt) + " -> replica" + std::to_string(idx);
+      if (rq.resume.any()) {
+        detail += " (resumed ";
+        detail += std::to_string(rq.resume.resident_tokens());
+        detail += " tokens)";
+      }
+      if (it.migrated) {
+        ++migrations;
+        events.push_back({ClusterEvent::Kind::kMigrate, it.time, idx, detail});
+      } else {
+        ++retries;
+        events.push_back({ClusterEvent::Kind::kRetry, it.time, idx, detail});
+      }
     }
   }
   // No further arrivals: replicas finish independently, so each can drain
@@ -281,6 +356,7 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
   rep.policy = dispatcher.name();
   rep.autoscaler = autoscaler != nullptr ? autoscaler->name() : "";
   rep.retries = retries;
+  rep.migrations = migrations;
   rep.peak_replicas = peak;
   std::stable_sort(events.begin(), events.end(),
                    [](const ClusterEvent& a, const ClusterEvent& b) { return a.time < b.time; });
@@ -329,13 +405,18 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
     // a failed one credited for time after its death.
     const Duration window = rr.alive_until - rr.spawned_at;
     rr.utilization = window > Duration::zero() ? rr.serve.busy / window : 0.0;
-    rep.generated_tokens += rr.serve.generated_tokens;
+    rep.cached_prefill_tokens += rr.serve.cache.saved_tokens;
     total_busy += rr.serve.busy;
     total_alive += window;
     busy_ms.push_back(rr.serve.busy.ms());
     for (const RequestMetrics& m : rr.serve.requests) {
       RequestMetrics fm = m;
-      fm.arrival = original_arrival.at(fm.id);  // retries span their failures
+      fm.arrival = original_arrival.at(fm.id);  // re-dispatches span their failures
+      // Tokens delivered, fleet-wide: each request's full generation counts
+      // once, on the replica that finished it (resumed tokens included --
+      // they reached the user, and the replica that computed them aborted
+      // without reporting).
+      rep.generated_tokens += static_cast<std::uint64_t>(fm.generated);
       ttft_ms.push_back(fm.ttft().ms());
       if (fm.generated > 1) tpot_ms.push_back(fm.tpot().ms());
       e2e_ms.push_back(fm.e2e().ms());

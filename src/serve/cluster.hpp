@@ -31,8 +31,19 @@
 //     after `retry_timeout` (retries restart from scratch; fleet metrics
 //     stay keyed to the original arrival so the loss lands in the tail).
 //
-// With no autoscaler and no faults configured, run() degenerates to exactly
-// the PR 3 dispatch loop -- pinned bit-identical by tests/test_cluster.cpp.
+//   * Prefix caching + partial-progress recovery -- with
+//     ClusterConfig::cache enabled, every replica carries a prefix/KV cache
+//     (kvcache.hpp): shared prompt prefixes skip their prefill, fail-stop
+//     retries can resume from the last checkpointed step
+//     (`survive_failstop`, surviving-cache mode) instead of restarting, and
+//     scale-down retirement can live-migrate a retiree's unfinished
+//     requests to the surviving fleet (`migrate_on_retire`) -- both priced
+//     at a modelled per-token KV transfer cost, and both surfacing in the
+//     event log and the retry/migration counters.
+//
+// With no autoscaler, no faults, and the cache disabled, run() degenerates
+// to exactly the classic dispatch loop -- pinned bit-identical by
+// tests/test_cluster.cpp.
 //
 // The report carries per-replica ServeReports and fleet-wide aggregates:
 // latency percentiles over the union of all requests (re-based to original
@@ -77,8 +88,8 @@ struct ReplicaSpec {
                                                      SchedulerConfig sched,
                                                      std::uint64_t seed0 = 1);
 
-/// Cluster-wide behavior knobs (health checking, retry, elasticity). The
-/// defaults are inert for a fault-free, autoscaler-less run.
+/// Cluster-wide behavior knobs (health checking, retry, elasticity, prefix
+/// caching). The defaults are inert for a fault-free, autoscaler-less run.
 struct ClusterConfig {
   HealthConfig health;
   /// Delay between detecting a replica failure and re-dispatching its
@@ -87,9 +98,20 @@ struct ClusterConfig {
   /// Cold-start span of an autoscaled replica: it accepts requests from the
   /// spawn instant but runs no step until spawn + warmup (expert placement).
   Duration warmup = Duration::millis(10);
-  /// Autoscaler evaluation cadence (ticks at k * period while arrivals
-  /// remain; after the last arrival the fleet drains as-is).
+  /// Autoscaler evaluation cadence: ticks at k * period while arrivals or
+  /// retries remain, and keeps ticking through the drain phase while any
+  /// replica still holds work -- drain-phase ticks may only scale DOWN
+  /// (spawning capacity no arrival will ever reach is pure waste), which is
+  /// what lets late scale-downs release idle replicas before the fleet
+  /// makespan bills them.
   Duration autoscale_period = Duration::millis(5);
+  /// Per-replica prefix/KV cache (kvcache.hpp). Disabled by default, which
+  /// pins the cache-less behavior bit-identically. When enabled it also
+  /// governs re-dispatch: `survive_failstop` resumes fail-stop retries from
+  /// the last checkpoint, and `migrate_on_retire` live-migrates a retiring
+  /// replica's unfinished requests -- both priced at the configured
+  /// transfer cost per resident token.
+  PrefixCacheConfig cache;
 
   void validate() const;
 };
@@ -102,6 +124,7 @@ struct ClusterEvent {
     kFailStop,         ///< a replica died (recorded at the instant of death)
     kFailureDetected,  ///< heartbeat monitor declared it dead; harvest + retry
     kRetry,            ///< a stranded request was re-dispatched
+    kMigrate,          ///< an evacuated request landed on its new replica
   };
   Kind kind{};
   Duration time = Duration::zero();
@@ -156,6 +179,9 @@ struct ClusterReport {
   double replica_seconds = 0.0;
   std::size_t peak_replicas = 0;  ///< max simultaneously accepting replicas
   std::size_t retries = 0;        ///< failure-driven re-dispatches
+  std::size_t migrations = 0;     ///< scale-down-driven re-dispatches
+  /// Prefill tokens served from prefix caches fleet-wide (0 when disabled).
+  std::int64_t cached_prefill_tokens = 0;
   std::vector<ClusterEvent> events;  ///< scaling/failure timeline, time order
 };
 
@@ -188,6 +214,7 @@ class ClusterSim {
     Duration retired_at = Duration::zero();     ///< scale-down decision instant
     bool detected = false;  ///< failure detected (excluded, harvested)
     bool retired = false;   ///< scaled down (excluded from dispatch)
+    bool evacuated = false; ///< retirement migrated its work away (nothing to harvest)
     std::size_t steps_seen = 0;  ///< steps folded into the EWMA so far
     double ewma_ms = 0.0;        ///< step-duration EWMA (health signal)
   };

@@ -14,6 +14,8 @@ void SchedulerConfig::validate() const {
   MONDE_REQUIRE(fixed_batch <= token_budget,
                 "fixed_batch (" << fixed_batch << ") must not exceed token_budget ("
                                 << token_budget << ")");
+  MONDE_REQUIRE(admission_bypass_limit > 0,
+                "admission_bypass_limit must be positive, got " << admission_bypass_limit);
 }
 
 ContinuousBatchScheduler::ContinuousBatchScheduler(SchedulerConfig cfg) : cfg_{cfg} {
@@ -30,8 +32,15 @@ void ContinuousBatchScheduler::push(const Request& rq) {
                       << rq.id << " after request " << last.id);
   }
   states_.push_back(RequestState{rq});
+  RequestState& rs = states_.back();
+  // A resumed request continues at its checkpointed decode depth; the first
+  // token (if any surfaced before) keeps its original instant across
+  // attempts -- the user already saw it.
+  rs.generated = rq.resume.decoded;
+  if (rq.resume.decoded > 0) rs.first_token = rq.resume.first_token;
   ++live_;
-  owed_tokens_ += rq.prompt_len + rq.max_new_tokens;
+  owed_tokens_ +=
+      (rq.prompt_len - rq.resume.prefilled) + (rq.max_new_tokens - rq.resume.decoded);
 }
 
 void ContinuousBatchScheduler::seal() { sealed_ = true; }
@@ -61,36 +70,63 @@ void ContinuousBatchScheduler::release_arrivals(Duration now) {
   }
 }
 
-std::vector<RequestState*> ContinuousBatchScheduler::admit() {
+std::int64_t ContinuousBatchScheduler::discount_for(const Request& rq) const {
+  const std::int64_t saved = discount_ ? discount_(rq) : rq.resume.prefilled;
+  MONDE_ASSERT(saved >= rq.resume.prefilled && saved <= rq.prompt_len,
+               "prefill discount for request " << rq.id << " (" << saved
+                                               << ") must lie in [resume.prefilled, prompt_len]");
+  return saved;
+}
+
+void ContinuousBatchScheduler::mark_admitted(std::size_t idx, std::int64_t saved,
+                                             std::vector<RequestState*>& newly) {
+  active_.push_back(idx);
+  RequestState& rs = states_[idx];
+  // Freeze the discount admission budgeted with; the server prices the
+  // prefill from exactly this number.
+  rs.saved_tokens = saved;
+  // The whole prompt-side obligation is discharged this step: the
+  // un-discounted part is prefilled now, the rest comes from the cache.
+  owed_tokens_ -= rs.request.prompt_len - rs.request.resume.prefilled;
+  newly.push_back(&rs);
+}
+
+void ContinuousBatchScheduler::take_front(std::int64_t saved,
+                                          std::vector<RequestState*>& newly) {
+  const std::size_t idx = queued_.front();
+  queued_.pop_front();
+  mark_admitted(idx, saved, newly);
+}
+
+std::vector<RequestState*> ContinuousBatchScheduler::admit_fixed() {
   std::vector<RequestState*> newly;
-  if (cfg_.mode == BatchingMode::kFixed) {
-    // A new batch forms only on an empty server, and waits for a full batch
-    // while more arrivals are still due (the classic batching delay). An
-    // unsealed scheduler may always receive more arrivals.
-    if (!active_.empty() || queued_.empty()) return newly;
-    if (static_cast<std::int64_t>(queued_.size()) < cfg_.fixed_batch &&
-        (next_pending_ < states_.size() || !sealed_)) {
-      return newly;
-    }
-    const std::size_t take =
-        std::min(queued_.size(), static_cast<std::size_t>(cfg_.fixed_batch));
-    for (std::size_t i = 0; i < take; ++i) {
-      active_.push_back(queued_.front());
-      newly.push_back(&states_[queued_.front()]);
-      owed_tokens_ -= states_[queued_.front()].request.prompt_len;  // prefilled this step
-      queued_.pop_front();
-    }
+  // A new batch forms only on an empty server, and waits for a full batch
+  // while more arrivals are still due (the classic batching delay). An
+  // unsealed scheduler may always receive more arrivals.
+  if (!active_.empty() || queued_.empty()) return newly;
+  if (static_cast<std::int64_t>(queued_.size()) < cfg_.fixed_batch &&
+      (next_pending_ < states_.size() || !sealed_)) {
     return newly;
   }
+  const std::size_t take =
+      std::min(queued_.size(), static_cast<std::size_t>(cfg_.fixed_batch));
+  for (std::size_t i = 0; i < take; ++i) {
+    take_front(discount_for(states_[queued_.front()].request), newly);
+  }
+  return newly;
+}
 
-  // Continuous: admit while this step's tokens (prefills admitted now + one
-  // decode token per slot after admission) stay within the budget. The FIFO
-  // head pops in O(1), so a burst of arrivals admits in O(batch), not
-  // O(queue^2) as a vector-head erase would.
+std::vector<RequestState*> ContinuousBatchScheduler::admit_fifo() {
+  // Admit while this step's tokens (prefills admitted now + one decode token
+  // per slot after admission) stay within the budget. The FIFO head pops in
+  // O(1), so a burst of arrivals admits in O(batch), not O(queue^2) as a
+  // vector-head erase would.
+  std::vector<RequestState*> newly;
   std::int64_t prefill_tokens = 0;
   while (!queued_.empty()) {
-    const std::size_t idx = queued_.front();
-    const std::int64_t prompt = states_[idx].request.prompt_len;
+    const Request& rq = states_[queued_.front()].request;
+    const std::int64_t saved = discount_for(rq);
+    const std::int64_t prompt = rq.prompt_len - saved;  // tokens to prefill
     const std::int64_t slots_after =
         static_cast<std::int64_t>(active_.size()) + static_cast<std::int64_t>(newly.size()) + 1;
     const bool fits = prefill_tokens + prompt + slots_after <= cfg_.token_budget;
@@ -98,14 +134,90 @@ std::vector<RequestState*> ContinuousBatchScheduler::admit() {
     const bool oversized_alone = active_.empty() && newly.empty() &&
                                  prompt + 1 > cfg_.token_budget;
     if (!fits && !oversized_alone) break;
-    queued_.pop_front();
-    active_.push_back(idx);
-    newly.push_back(&states_[idx]);
-    owed_tokens_ -= prompt;  // prefilled this step
+    take_front(saved, newly);
     prefill_tokens += prompt;
     if (oversized_alone) break;
   }
   return newly;
+}
+
+std::vector<RequestState*> ContinuousBatchScheduler::admit_size_aware() {
+  // Fewest-remaining-tokens first: admit the queued requests owing the
+  // fewest (discounted prompt + remaining decode) tokens -- unless a
+  // request has been bypassed past the limit, in which case seniority wins
+  // and admission stalls until that request fits (the starvation guard).
+  //
+  // The ranking keys (discount, remaining tokens, bypass state) cannot
+  // change inside one admit() call, and the budget only tightens as
+  // admissions accumulate, so one ranked pass is equivalent to re-ranking
+  // after every admission -- and calls the discount hook once per request
+  // instead of O(admitted x queue log queue) times.
+  std::vector<RequestState*> newly;
+  if (queued_.empty()) return newly;
+  struct Candidate {
+    std::size_t pos = 0;  ///< position in queued_ (the seniority key)
+    std::int64_t saved = 0;
+    std::int64_t remaining = 0;
+    bool forced = false;  ///< past the bypass limit: seniority beats size
+  };
+  std::vector<Candidate> order;
+  order.reserve(queued_.size());
+  for (std::size_t pos = 0; pos < queued_.size(); ++pos) {
+    const RequestState& rs = states_[queued_[pos]];
+    const std::int64_t saved = discount_for(rs.request);
+    order.push_back({pos, saved,
+                     (rs.request.prompt_len - saved) +
+                         (rs.request.max_new_tokens - rs.generated),
+                     rs.bypassed >= cfg_.admission_bypass_limit});
+  }
+  std::stable_sort(order.begin(), order.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.forced != b.forced) return a.forced;  // guarded requests first...
+    if (a.forced) return a.pos < b.pos;         // ...by seniority among them
+    return a.remaining != b.remaining ? a.remaining < b.remaining : a.pos < b.pos;
+  });
+  std::vector<bool> taken(queued_.size(), false);
+  std::int64_t prefill_tokens = 0;
+  for (const Candidate& c : order) {
+    const Request& rq = states_[queued_[c.pos]].request;
+    const std::int64_t prompt = rq.prompt_len - c.saved;
+    const std::int64_t slots_after = static_cast<std::int64_t>(active_.size()) +
+                                     static_cast<std::int64_t>(newly.size()) + 1;
+    const bool fits = prefill_tokens + prompt + slots_after <= cfg_.token_budget;
+    const bool oversized_alone = active_.empty() && newly.empty() &&
+                                 prompt + 1 > cfg_.token_budget;
+    if (fits || oversized_alone) {
+      taken[c.pos] = true;
+      mark_admitted(queued_[c.pos], c.saved, newly);
+      prefill_tokens += prompt;
+      if (oversized_alone) break;
+      continue;
+    }
+    // A request past the bypass limit blocks everything behind it: nothing
+    // may leapfrog the guard, so admission is over for this step.
+    if (c.forced) break;
+  }
+  // Starvation credit: a request was bypassed only if a JUNIOR (later
+  // queue position) request was admitted past it -- waiting behind one's
+  // seniors is ordinary FIFO progress, not a bypass.
+  std::size_t last_taken = 0;
+  for (std::size_t pos = 0; pos < queued_.size(); ++pos) {
+    if (taken[pos]) last_taken = pos;
+  }
+  for (std::size_t pos = 0; pos < last_taken; ++pos) {
+    if (!taken[pos]) ++states_[queued_[pos]].bypassed;
+  }
+  // Compact the queue in order, dropping the admitted entries.
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < queued_.size(); ++read) {
+    if (!taken[read]) queued_[write++] = queued_[read];
+  }
+  queued_.resize(write);
+  return newly;
+}
+
+std::vector<RequestState*> ContinuousBatchScheduler::admit() {
+  if (cfg_.mode == BatchingMode::kFixed) return admit_fixed();
+  return cfg_.size_aware_admission ? admit_size_aware() : admit_fifo();
 }
 
 bool ContinuousBatchScheduler::step_ready() const {
@@ -156,7 +268,19 @@ std::vector<Request> ContinuousBatchScheduler::abort_unfinished() {
     if (rs.done) {
       kept.push_back(std::move(rs));
     } else {
-      stranded.push_back(rs.request);
+      Request rq = rs.request;
+      // Checkpointed progress: an applied step since admission means the
+      // whole prompt and `generated` decode tokens were resident at the
+      // last completed step boundary. Anything short of that (waiting, or
+      // admitted into a step whose completion never applied -- stranded
+      // mid-prefill) keeps the resume state it arrived with. Whether the
+      // retry USES the annotation is the cluster's cache-survival policy.
+      if (rs.generated > rq.resume.decoded) {
+        rq.resume.prefilled = rq.prompt_len;
+        rq.resume.decoded = rs.generated;
+        rq.resume.first_token = rs.first_token;
+      }
+      stranded.push_back(rq);
     }
   }
   states_ = std::move(kept);
@@ -165,11 +289,12 @@ std::vector<Request> ContinuousBatchScheduler::abort_unfinished() {
   next_pending_ = states_.size();
   live_ = 0;
   owed_tokens_ = 0;
-  sealed_ = true;  // a failed replica never accepts again
+  sealed_ = true;  // an aborted replica never accepts again
   return stranded;
 }
 
-void ContinuousBatchScheduler::complete_step(Duration end) {
+StepOutcome ContinuousBatchScheduler::complete_step(Duration end) {
+  StepOutcome out;
   bool all_done = true;
   for (const std::size_t idx : active_) {
     RequestState& rs = states_[idx];
@@ -178,20 +303,23 @@ void ContinuousBatchScheduler::complete_step(Duration end) {
     if (rs.done) continue;
     ++rs.generated;
     --owed_tokens_;
+    out.advanced.push_back(rs.request.id);
     if (rs.generated == 1) rs.first_token = end;
     if (rs.generated == rs.request.max_new_tokens) {
       rs.done = true;
       rs.completion = end;
       --live_;
+      out.finished.push_back(rs.request.id);
     }
     all_done = all_done && rs.done;
   }
   if (cfg_.mode == BatchingMode::kFixed) {
     // Padded slots keep running until the whole batch drains.
     if (all_done) active_.clear();
-    return;
+    return out;
   }
   std::erase_if(active_, [this](std::size_t idx) { return states_[idx].done; });
+  return out;
 }
 
 }  // namespace monde::serve

@@ -7,11 +7,22 @@
 //   * kContinuous -- requests are admitted as soon as the per-step token
 //     budget (prefill tokens admitted this step + one decode token per
 //     active slot) allows, and leave the batch the moment they finish. This
-//     is vLLM/Orca-style continuous batching.
+//     is vLLM/Orca-style continuous batching. Admission order is FIFO by
+//     default; `size_aware_admission` switches to fewest-remaining-tokens
+//     first (the cluster's least-outstanding-tokens signal applied inside
+//     the replica), with a bypass cap as a starvation guard.
 //   * kFixed -- the classic baseline: requests are grouped into fixed-size
 //     batches; a batch is admitted only when the previous one fully drains,
 //     and finished requests keep occupying padded slots until the whole
 //     batch completes.
+//
+// Prefix-cache integration: a request may carry resumed progress
+// (Request::resume -- prompt tokens already prefilled elsewhere, decode
+// tokens already generated) and the server may register a prefill-discount
+// hook (the prefix cache's shared-prefix lookup). Both shrink the prefill
+// the admission budget charges for; the discount actually applied is frozen
+// into RequestState::saved_tokens at admission so the server prices the
+// step with exactly the tokens admission budgeted.
 //
 // Requests enter either all at once (submit(), the one-shot trace path) or
 // incrementally (push(), the path a cluster dispatcher drives); seal()
@@ -34,6 +45,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,26 +72,55 @@ struct SchedulerConfig {
   /// Batch size for kFixed; must not exceed token_budget so the two modes
   /// are comparable under one config.
   std::int64_t fixed_batch = 8;
+  /// Continuous-mode admission order: false = FIFO (the classic behavior),
+  /// true = fewest-remaining-tokens first, so short requests slip past a
+  /// head-of-line giant instead of queueing behind it (shortest-job-first
+  /// under the step budget).
+  bool size_aware_admission = false;
+  /// Starvation guard for size-aware admission: a queued request that has
+  /// seen junior (later-arrived) peers admitted past it this many times is
+  /// admitted before any of them (its next fitting step takes it first).
+  std::int64_t admission_bypass_limit = 8;
 
   void validate() const;
 };
 
 /// A request plus its serving-lifecycle bookkeeping. The request's decode
 /// depth IS its generated count: padded fixed-mode slots surface no tokens
-/// and so stay frozen at their final depth.
+/// and so stay frozen at their final depth. A resumed request starts with
+/// `generated = resume.decoded` (its decode depth carries over) and keeps
+/// the original attempt's `first_token`.
 struct RequestState {
   Request request;
-  std::int64_t generated = 0;  ///< useful tokens produced so far (= decode depth)
+  std::int64_t generated = 0;  ///< tokens produced across attempts (= decode depth)
+  std::int64_t saved_tokens = 0;  ///< prefill tokens skipped at admission
   bool done = false;
+  std::int64_t bypassed = 0;   ///< size-aware admissions that skipped past this
   Duration admitted = Duration::zero();
   Duration first_token = Duration::zero();
   Duration completion = Duration::zero();
 };
 
+/// What one completed step did to the batch, for residency layers above
+/// (the server feeds its prefix cache from this).
+struct StepOutcome {
+  std::vector<std::uint64_t> advanced;  ///< requests that surfaced a token
+  std::vector<std::uint64_t> finished;  ///< subset that completed
+};
+
 /// Admission control + batch composition over one request trace.
 class ContinuousBatchScheduler {
  public:
+  /// Prompt tokens of a request that need no prefill here (the prefix
+  /// cache's lookup). Must be pure w.r.t. the scheduler and stay in
+  /// [resume.prefilled, prompt_len].
+  using PrefillDiscount = std::function<std::int64_t(const Request&)>;
+
   explicit ContinuousBatchScheduler(SchedulerConfig cfg);
+
+  /// Register the prefill-discount hook. Without one, a request's discount
+  /// is its own `resume.prefilled`.
+  void set_prefill_discount(PrefillDiscount fn) { discount_ = std::move(fn); }
 
   /// Append one request. Pushes must come in (arrival, id) order -- the
   /// order a trace replay or a cluster dispatcher naturally produces.
@@ -147,19 +188,37 @@ class ContinuousBatchScheduler {
 
   /// Account one finished decode step ending at `end`: advance depths,
   /// record first-token/completion times, and retire finished requests
-  /// (immediately in continuous mode, batch-at-once in fixed mode).
-  void complete_step(Duration end);
+  /// (immediately in continuous mode, batch-at-once in fixed mode). The
+  /// outcome lists which requests advanced/finished, for the server's
+  /// cache residency bookkeeping.
+  StepOutcome complete_step(Duration end);
 
-  /// Fail-stop support: remove every accepted-but-unfinished request
-  /// (pending, queued, or active) and return the original Requests, in
-  /// (arrival, id) order. Partially decoded work is discarded -- a retry
-  /// elsewhere restarts from scratch, as a real node loss loses the KV
-  /// cache. Completed requests keep their metrics and the scheduler is left
+  /// Fail-stop / evacuation support: remove every accepted-but-unfinished
+  /// request (pending, queued, or active) and return the original Requests,
+  /// in (arrival, id) order, each annotated with its checkpointed progress
+  /// (Request::resume): an admitted request whose admission step completed
+  /// has its full prompt and `generated` tokens resident; anything else
+  /// keeps the resume state it arrived with. Whether a retry may *use* the
+  /// annotation is the cluster's policy (surviving- vs lost-cache).
+  /// Completed requests keep their metrics and the scheduler is left
   /// drained; push() must not be called afterwards.
   std::vector<Request> abort_unfinished();
 
  private:
+  /// Admission helpers for the two continuous-mode orders.
+  std::vector<RequestState*> admit_fixed();
+  std::vector<RequestState*> admit_fifo();
+  std::vector<RequestState*> admit_size_aware();
+  /// Frozen discount + budget accounting for one admission (shared by every
+  /// admission order; queue removal is the caller's).
+  void mark_admitted(std::size_t idx, std::int64_t saved,
+                     std::vector<RequestState*>& newly);
+  /// mark_admitted() plus popping the FIFO head (the fixed/FIFO orders).
+  void take_front(std::int64_t saved, std::vector<RequestState*>& newly);
+  [[nodiscard]] std::int64_t discount_for(const Request& rq) const;
+
   SchedulerConfig cfg_;
+  PrefillDiscount discount_;
   std::vector<RequestState> states_;  ///< in (arrival, id) order; stable storage
   std::size_t next_pending_ = 0;      ///< states_[next_pending_..) not yet arrived
   std::deque<std::size_t> queued_;    ///< arrived, awaiting admission (FIFO)

@@ -3,13 +3,14 @@
 namespace monde::serve {
 
 ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg, Duration start_at,
-                     FaultSpec fault)
+                     FaultSpec fault, PrefixCacheConfig cache)
     : engine_{engine},
       cfg_{cfg},
       sched_{cfg},
       st_{engine.make_state()},
       start_at_{start_at},
-      fault_{fault} {
+      fault_{fault},
+      cache_{cache} {
   cfg_.validate();
   fault_.validate();
   MONDE_REQUIRE(start_at_ >= Duration::zero(), "server cannot boot before t=0");
@@ -17,10 +18,17 @@ ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg, Duratio
   // Booting at start_at: the clock starts there, so no step can begin
   // earlier while enqueues land in the queue at any time (cold start).
   st_.now = start_at_;
+  if (cache_.enabled()) {
+    // Admission budgets with the cache's shared-prefix savings; the
+    // discount is frozen per request at admission so step() prices exactly
+    // what admission charged for.
+    sched_.set_prefill_discount(
+        [this](const Request& rq) { return cache_.saved_tokens(rq); });
+  }
 }
 
 void ServerSim::enqueue(const Request& rq) {
-  MONDE_REQUIRE(!harvested_, "enqueue() on a failed, already-harvested server");
+  MONDE_REQUIRE(!harvested_, "enqueue() on a harvested or evacuated server");
   sched_.push(rq);
 }
 
@@ -73,9 +81,11 @@ void ServerSim::drain() {
 void ServerSim::fail_now() {
   failed_ = true;
   // A completion landing at or before the instant of death made it; one
-  // landing after dies with the node (its requests strand mid-step).
+  // landing after dies with the node (its requests strand mid-step, and
+  // the step's would-be cache admissions die too).
   if (completion_pending_ && pending_end_ <= fault_.fail_at) apply_pending_completion();
   completion_pending_ = false;
+  pending_admits_.clear();
   // The step cut short by the failure only burned cycles up to the death.
   if (!steps_.empty() && steps_.back().end > fault_.fail_at) {
     busy_ -= steps_.back().end - fault_.fail_at;
@@ -88,13 +98,43 @@ std::vector<Request> ServerSim::harvest_stranded() {
   MONDE_REQUIRE(failed_, "harvest_stranded() is only valid after a fail-stop");
   MONDE_REQUIRE(!harvested_, "stranded requests were already harvested");
   harvested_ = true;
-  return sched_.abort_unfinished();
+  std::vector<Request> stranded = sched_.abort_unfinished();
+  cache_.drop_pinned();
+  return stranded;
+}
+
+std::vector<Request> ServerSim::evacuate() {
+  MONDE_REQUIRE(!failed_, "evacuate() needs a live server (harvest_stranded() a dead one)");
+  MONDE_REQUIRE(!harvested_, "server was already harvested or evacuated");
+  harvested_ = true;
+  // Migration happens at the step boundary: the step in flight completes
+  // (deterministically, at its already-priced end) and its effects are part
+  // of the checkpoint the requests carry away -- unless a scheduled
+  // fail-stop lands inside that step, in which case the node never finishes
+  // it and migration cannot rescue its effects (the same rule fail_now()
+  // applies).
+  if (completion_pending_ && fault_.fail_stop() && pending_end_ > fault_.fail_at) {
+    completion_pending_ = false;
+    pending_admits_.clear();
+  }
+  apply_pending_completion();
+  std::vector<Request> moved = sched_.abort_unfinished();
+  cache_.drop_pinned();
+  return moved;
 }
 
 void ServerSim::apply_pending_completion() {
   if (!completion_pending_) return;
   completion_pending_ = false;
-  sched_.complete_step(pending_end_);
+  // The step committed: its admissions become resident (pins + stats)
+  // before its decode tokens land on them.
+  for (const auto& [rq, saved] : pending_admits_) cache_.admit(rq, saved);
+  pending_admits_.clear();
+  const StepOutcome out = sched_.complete_step(pending_end_);
+  if (cache_.enabled()) {
+    for (const std::uint64_t id : out.advanced) cache_.decode_token(id);
+    for (const std::uint64_t id : out.finished) cache_.complete(id);
+  }
 }
 
 void ServerSim::step(const std::vector<RequestState*>& newly) {
@@ -103,8 +143,15 @@ void ServerSim::step(const std::vector<RequestState*>& newly) {
   rec.start = st_.now;
   for (RequestState* rs : newly) {
     rs->admitted = st_.now;
-    engine_.prefill(st_, 1, rs->request.prompt_len);
-    rec.prefill_tokens += rs->request.prompt_len;
+    // Cached tokens (resumed prefix or shared-prefix hit) skip the prefill;
+    // a fully-covered prompt runs none at all. The cache itself learns of
+    // the admission only once this step's completion applies -- a step
+    // discarded by a fail-stop must not count as cache traffic.
+    const std::int64_t prefill_len = rs->request.prompt_len - rs->saved_tokens;
+    if (prefill_len > 0) engine_.prefill(st_, 1, prefill_len);
+    rec.prefill_tokens += prefill_len;
+    rec.cached_tokens += rs->saved_tokens;
+    if (cache_.enabled()) pending_admits_.emplace_back(rs->request, rs->saved_tokens);
   }
   // Newly admitted requests join this step's decode immediately, so a
   // step's cost is its prefills plus one shared decode over all slots.
@@ -146,13 +193,21 @@ ServeReport ServerSim::report() const {
     m.attempt = rs.request.attempt;
     m.prompt_len = rs.request.prompt_len;
     m.generated = rs.generated;
+    m.saved_tokens = rs.saved_tokens;
+    m.resumed_tokens = rs.request.resume.decoded;
     m.arrival = rs.request.arrival;
     m.admitted = rs.admitted;
     m.first_token = rs.first_token;
     m.completion = rs.completion;
-    report.generated_tokens += static_cast<std::uint64_t>(rs.generated);
-    ttft_ms.push_back(m.ttft().ms());
-    if (m.generated > 1) tpot_ms.push_back(m.tpot().ms());
+    // Only locally decoded tokens count toward this server's throughput.
+    report.generated_tokens += static_cast<std::uint64_t>(rs.generated - m.resumed_tokens);
+    // A resumed request's first token predates this server (and possibly
+    // its local arrival): its TTFT/TPOT belong to the fleet-level re-based
+    // metrics, not this replica's.
+    if (m.resumed_tokens == 0) {
+      ttft_ms.push_back(m.ttft().ms());
+      if (m.generated > 1) tpot_ms.push_back(m.tpot().ms());
+    }
     e2e_ms.push_back(m.e2e().ms());
     report.requests.push_back(m);
   }
@@ -164,6 +219,7 @@ ServeReport ServerSim::report() const {
                             ? static_cast<double>(report.generated_tokens) /
                                   report.makespan.sec()
                             : 0.0;
+  report.cache = cache_.stats();
   return report;
 }
 

@@ -46,7 +46,17 @@
 // slow-down fault stretches affected steps' spans about their start; a
 // fail-stop freezes the server at `fail_at` -- the step in flight at the
 // instant of death loses its effects, and harvest_stranded() hands the
-// accepted-but-unfinished requests back to the cluster for re-dispatch.
+// accepted-but-unfinished requests back to the cluster for re-dispatch,
+// annotated with their last-checkpointed progress. A retiring replica can
+// instead evacuate(): stop at the current step boundary and hand its
+// unfinished requests (with resident state) to the cluster for migration.
+//
+// Prefix/KV cache (kvcache.hpp): when enabled, an admitted request's
+// prompt tokens already resident (its resumed prefix, or the shared prefix
+// of its `prefix_id` group) skip the prefill, so the step prices only the
+// un-cached tokens; per-step `cached_tokens` and the report's cache stats
+// make the savings auditable. Disabled (the default), the server is
+// bit-identical to the cache-less behavior.
 //
 // Units: token counts are tokens; all instants/spans are simulated-time
 // `Duration`s (nanosecond-resolution doubles; cycle counts never surface at
@@ -62,6 +72,7 @@
 #include "common/stats.hpp"
 #include "core/engine.hpp"
 #include "serve/fault.hpp"
+#include "serve/kvcache.hpp"
 #include "serve/scheduler.hpp"
 
 namespace monde::serve {
@@ -73,17 +84,26 @@ struct StepRecord {
   Duration end = Duration::zero();
   std::int64_t prefill_tokens = 0;  ///< prompt tokens prefilled this step
   std::int64_t decode_tokens = 0;   ///< decode slots (incl. fixed-mode padding)
+  std::int64_t cached_tokens = 0;   ///< prompt tokens served from the prefix cache
 };
 
 /// Final per-request latency accounting. `arrival` is the instant the
 /// request joined *this* server's queue -- for a failure retry that is the
 /// re-dispatch instant; the cluster re-bases its fleet-level copy to the
 /// original trace arrival so the retry delay lands in the latency tail.
+///
+/// A request resumed with prior decode progress (`resumed_tokens` > 0)
+/// keeps its ORIGINAL `first_token` instant -- the user saw that token
+/// before the failure -- which may precede this server's `arrival`;
+/// per-server TTFT/TPOT percentiles therefore skip resumed requests, while
+/// the cluster's re-based copies include them.
 struct RequestMetrics {
   std::uint64_t id = 0;
   std::uint32_t attempt = 0;  ///< dispatch attempt that finally served it
   std::int64_t prompt_len = 0;
-  std::int64_t generated = 0;
+  std::int64_t generated = 0;       ///< tokens delivered, summed across attempts
+  std::int64_t saved_tokens = 0;    ///< prefill tokens the cache skipped this attempt
+  std::int64_t resumed_tokens = 0;  ///< decode tokens carried in from earlier attempts
   Duration arrival = Duration::zero();
   Duration admitted = Duration::zero();
   Duration first_token = Duration::zero();
@@ -105,6 +125,8 @@ struct ServeReport {
   std::vector<StepRecord> steps;
   Duration makespan = Duration::zero();
   Duration busy = Duration::zero();  ///< sum of step spans (utilization numerator)
+  /// Tokens decoded BY THIS SERVER (a resumed request's carried-in tokens
+  /// are credited to the replica that produced them, not re-counted here).
   std::uint64_t generated_tokens = 0;
   double tokens_per_s = 0.0;
   Percentiles ttft_ms;
@@ -112,6 +134,7 @@ struct ServeReport {
   /// undefined for single-token responses).
   Percentiles tpot_ms;
   Percentiles e2e_ms;
+  PrefixCacheStats cache;  ///< prefix-cache counters (all-zero when disabled)
 };
 
 /// Drives one InferenceEngine through a request trace under one scheduler.
@@ -120,9 +143,12 @@ class ServerSim {
   /// `engine` must outlive the server and must not be driven by anything
   /// else concurrently. `start_at` is the boot instant (no step starts
   /// earlier; enqueues are accepted at any time); `fault` is the replica's
-  /// fault plan -- a fail-stop must lie strictly after `start_at`.
+  /// fault plan -- a fail-stop must lie strictly after `start_at`; `cache`
+  /// configures the replica's prefix/KV cache (disabled by default, which
+  /// keeps the server bit-identical to the cache-less behavior).
   ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg,
-            Duration start_at = Duration::zero(), FaultSpec fault = {});
+            Duration start_at = Duration::zero(), FaultSpec fault = {},
+            PrefixCacheConfig cache = {});
 
   // --- Incremental event API (what a cluster dispatcher drives) -----------
 
@@ -165,10 +191,21 @@ class ServerSim {
 
   /// After a fail-stop: remove and return every accepted-but-unfinished
   /// request (in (arrival, id) order) so the cluster can re-dispatch them.
-  /// Partial decode progress is lost with the node (retries restart from
-  /// scratch). Requires failed(); call at most once; enqueue() is invalid
-  /// afterwards and drain()/report() then cover only completed requests.
+  /// Each is annotated with its checkpointed progress as of the last
+  /// completed step (Request::resume); whether the retry honors it is the
+  /// cluster's cache-survival policy -- with no prefix cache the
+  /// annotations are dropped and retries restart from scratch. Requires
+  /// failed(); call at most once; enqueue() is invalid afterwards and
+  /// drain()/report() then cover only completed requests.
   [[nodiscard]] std::vector<Request> harvest_stranded();
+
+  /// Live-migration support (scale-down): stop at the current step boundary
+  /// -- the step in flight completes and its effects are part of the
+  /// migrated checkpoint -- and remove and return every unfinished request
+  /// with its progress annotations, exactly as harvest_stranded() does for
+  /// a dead server. Requires a live server; call at most once; enqueue() is
+  /// invalid afterwards and drain()/report() cover only completed requests.
+  [[nodiscard]] std::vector<Request> evacuate();
 
   /// Live load, for dispatch decisions (see ContinuousBatchScheduler).
   /// Requests retired by a step still in flight at the last advance_to()
@@ -187,6 +224,9 @@ class ServerSim {
   /// Steps executed so far (including one whose completion is still
   /// pending); the cluster folds their spans into its health EWMA.
   [[nodiscard]] const std::vector<StepRecord>& steps() const { return steps_; }
+
+  /// The replica's prefix/KV cache (inert when disabled in the config).
+  [[nodiscard]] const KvCache& kv_cache() const { return cache_; }
 
   /// Metrics for everything served so far. Requires drained().
   [[nodiscard]] ServeReport report() const;
@@ -215,6 +255,11 @@ class ServerSim {
   core::EngineState st_;
   Duration start_at_ = Duration::zero();
   FaultSpec fault_;
+  KvCache cache_;
+  /// Admissions of the in-flight step, held back until its completion
+  /// applies: a fail-stop that discards the step must not credit the cache
+  /// with hits (or pin state) for work that died with the node.
+  std::vector<std::pair<Request, std::int64_t>> pending_admits_;
   std::vector<StepRecord> steps_;
   Duration busy_ = Duration::zero();
   bool completion_pending_ = false;     ///< the last step's effects not yet applied

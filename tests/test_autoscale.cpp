@@ -273,6 +273,77 @@ TEST(Autoscale, DeterministicGivenSeeds) {
   EXPECT_DOUBLE_EQ(a.replica_seconds, b.replica_seconds);
 }
 
+TEST(Autoscale, DrainPhaseTicksFireLateScaleDowns) {
+  // Every arrival lands at t = 0, so every autoscale tick is a drain-phase
+  // tick. Before the drain-tick fix no tick ever fired here and all three
+  // replicas were billed through to the fleet makespan; now the autoscaler
+  // keeps evaluating while work remains and releases idle capacity early.
+  const auto trace = closed_loop_trace(12, small_shape(), 7);
+  ClusterConfig cfg;
+  cfg.autoscale_period = Duration::millis(2);
+  AutoscaleConfig down = test_policy();
+  down.max_replicas = 3;
+  down.high_tokens_per_replica = 1 << 20;  // never up...
+  down.low_tokens_per_replica = 1 << 19;   // ...always down
+  const ClusterReport rep = run_elastic(trace, cfg, down, /*boot_replicas=*/3);
+
+  ASSERT_EQ(rep.requests.size(), trace.size());
+  std::size_t scale_downs = 0;
+  for (const ClusterEvent& ev : rep.events) {
+    EXPECT_NE(ev.kind, ClusterEvent::Kind::kScaleUp);
+    if (ev.kind == ClusterEvent::Kind::kScaleDown) {
+      ++scale_downs;
+      EXPECT_GT(ev.time, Duration::zero());  // strictly after the last arrival
+    }
+  }
+  EXPECT_GT(scale_downs, 0u);
+  // Replica-seconds accounting (regression): the sum of alive windows must
+  // match, and at least one retiree released capacity before the makespan.
+  double alive_ns = 0.0;
+  bool early_release = false;
+  for (const ReplicaReport& rr : rep.replicas) {
+    alive_ns += (rr.alive_until - rr.spawned_at).ns();
+    early_release = early_release || (rr.retired && rr.alive_until < rep.makespan);
+  }
+  EXPECT_NEAR(rep.replica_seconds, alive_ns * 1e-9, 1e-12);
+  EXPECT_TRUE(early_release);
+  EXPECT_LT(rep.replica_seconds, 3.0 * rep.makespan.sec());
+
+  // The dual guard: a scale-up-hungry policy gets clamped during drain --
+  // spawning capacity no arrival will ever reach is pure waste.
+  AutoscaleConfig up = test_policy();
+  up.max_replicas = 4;
+  up.high_tokens_per_replica = 1;  // always wants another replica
+  up.low_tokens_per_replica = 0;
+  const ClusterReport held = run_elastic(trace, cfg, up, /*boot_replicas=*/2);
+  ASSERT_EQ(held.requests.size(), trace.size());
+  for (const ClusterEvent& ev : held.events) {
+    EXPECT_NE(ev.kind, ClusterEvent::Kind::kScaleUp);
+  }
+  EXPECT_EQ(held.peak_replicas, 2u);
+}
+
+TEST(Autoscale, DrainTicksTerminateWithStuckFixedBatch) {
+  // Regression for a drain-tick livelock: a fixed-batching replica holding
+  // an under-full batch cannot serve it until drain() seals the scheduler,
+  // so its in_flight work must NOT keep the autoscaler ticking forever --
+  // the loop has to fall through to drain() and let the partial batch run.
+  SchedulerConfig fixed;
+  fixed.mode = BatchingMode::kFixed;
+  fixed.fixed_batch = 8;
+  ClusterConfig cfg;
+  cfg.autoscale_period = Duration::millis(2);
+  ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                     uniform_fleet(1, core::StrategyKind::kMondeLoadBalanced, fixed), cfg};
+  const auto dispatcher = make_dispatcher(DispatchPolicy::kRoundRobin);
+  const auto autoscaler = make_queue_pressure_autoscaler(test_policy());
+  // 3 < fixed_batch requests: without the liveness cut this never returns.
+  const ClusterReport rep =
+      cluster.run(closed_loop_trace(3, small_shape(), 5), *dispatcher, autoscaler.get());
+  ASSERT_EQ(rep.requests.size(), 3u);
+  for (const RequestMetrics& m : rep.requests) EXPECT_GT(m.generated, 0);
+}
+
 TEST(Autoscale, ConfigValidation) {
   ClusterConfig cfg;
   cfg.retry_timeout = Duration::zero();

@@ -507,5 +507,282 @@ TEST(ClusterSim, RejectsBadConfigurations) {
   EXPECT_THROW((void)cluster.run({}, *dispatcher), Error);  // empty trace
 }
 
+// --- Prefix cache, partial-progress retry, and migration ----------------------
+
+RequestShape prefix_shape(double fraction = 1.0) {
+  RequestShape s = small_shape();
+  s.prefix_groups = 2;
+  s.shared_fraction = fraction;
+  s.shared_prefix_len = 12;
+  return s;
+}
+
+/// Cheap, near-instant state transfers so resume/migration timing effects
+/// stay dominated by the saved compute, not the link.
+PrefixCacheConfig enabled_cache() {
+  PrefixCacheConfig cache;
+  cache.enabled = true;
+  cache.kv_bytes_per_token = Bytes{16};
+  cache.migration_bw = Bandwidth::gbps(100.0);
+  return cache;
+}
+
+TEST(ClusterSim, CacheDisabledConfigIsBitIdenticalToDefault) {
+  // The acceptance pin, cluster level: a disabled cache -- whatever its
+  // other knobs say, on a trace that carries shared-prefix ids -- must
+  // reproduce the default (cache-less) cluster bit for bit.
+  const auto trace = poisson_trace(14, 70.0, prefix_shape(0.75), 21);
+  const auto run_with = [&](ClusterConfig cfg) {
+    ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(),
+                       moe::SkewProfile::switch_like(),
+                       uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced,
+                                     SchedulerConfig{}),
+                       cfg};
+    const auto dispatcher = make_dispatcher(DispatchPolicy::kJoinShortestQueue, 11);
+    return cluster.run(trace, *dispatcher);
+  };
+  ClusterConfig off;
+  off.cache.enabled = false;
+  off.cache.capacity_tokens = 1;       // junk knobs must never be read
+  off.cache.survive_failstop = true;   // policy flags are inert when disabled
+  off.cache.migrate_on_retire = true;
+  const ClusterReport a = run_with(ClusterConfig{});
+  const ClusterReport b = run_with(off);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].id, b.requests[i].id);
+    EXPECT_DOUBLE_EQ(a.requests[i].first_token.ns(), b.requests[i].first_token.ns());
+    EXPECT_DOUBLE_EQ(a.requests[i].completion.ns(), b.requests[i].completion.ns());
+  }
+  EXPECT_DOUBLE_EQ(a.makespan.ns(), b.makespan.ns());
+  EXPECT_EQ(b.cached_prefill_tokens, 0);
+  EXPECT_EQ(b.migrations, 0u);
+}
+
+TEST(ClusterSim, SharedPrefixCacheSavesPrefillFleetWide) {
+  // Closed-loop keeps every replica busy end to end, so the fleet makespan
+  // directly reflects the prefill work the caches skipped.
+  const auto trace = closed_loop_trace(20, prefix_shape(), 5);
+  const auto run_with = [&](ClusterConfig cfg) {
+    ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(),
+                       moe::SkewProfile::switch_like(),
+                       uniform_fleet(2, core::StrategyKind::kMondeLoadBalanced,
+                                     SchedulerConfig{}),
+                       cfg};
+    // Round-robin keeps the request->replica assignment identical across
+    // the two runs, so the comparison isolates the cache itself.
+    const auto dispatcher = make_dispatcher(DispatchPolicy::kRoundRobin);
+    return cluster.run(trace, *dispatcher);
+  };
+  ClusterConfig on;
+  on.cache = enabled_cache();
+  const ClusterReport off_rep = run_with(ClusterConfig{});
+  const ClusterReport on_rep = run_with(on);
+  EXPECT_GT(on_rep.cached_prefill_tokens, 0);
+  EXPECT_EQ(off_rep.cached_prefill_tokens, 0);
+  ASSERT_EQ(on_rep.requests.size(), trace.size());
+  // Skipped prefill is simulated time the fleet genuinely never spends.
+  EXPECT_LT(on_rep.makespan, off_rep.makespan);
+  std::uint64_t hits = 0;
+  for (const ReplicaReport& rr : on_rep.replicas) hits += rr.serve.cache.hits;
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(ClusterSim, SurvivingCacheResumesStrandedWorkAndCutsTheTail) {
+  // Replica 1 of 3 dies mid-trace. Lost-cache mode retries from scratch;
+  // surviving-cache mode resumes from the checkpoint (at a near-zero
+  // modelled transfer cost), so every retried request finishes no later and
+  // the E2E tail shrinks.
+  const auto trace = bursty_trace(24, 6, Duration::millis(25), small_shape(), 13);
+  const auto run_with = [&](bool survive) {
+    ClusterConfig cfg;
+    cfg.health.heartbeat_interval = Duration::millis(2);
+    cfg.health.heartbeat_timeout = Duration::millis(6);
+    cfg.retry_timeout = Duration::millis(2);
+    cfg.cache = enabled_cache();
+    cfg.cache.survive_failstop = survive;
+    auto specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+    specs[1].fault.fail_at = Duration::millis(30);
+    ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(),
+                       moe::SkewProfile::switch_like(), specs, cfg};
+    const auto dispatcher = make_dispatcher(DispatchPolicy::kJoinShortestQueue, 7);
+    return cluster.run(trace, *dispatcher);
+  };
+  const ClusterReport lost = run_with(false);
+  const ClusterReport kept = run_with(true);
+  ASSERT_EQ(lost.requests.size(), trace.size());
+  ASSERT_EQ(kept.requests.size(), trace.size());
+  EXPECT_GT(lost.retries, 0u);
+  EXPECT_EQ(kept.retries, lost.retries);  // identical pre-failure behavior
+
+  std::map<std::uint64_t, const RequestMetrics*> lost_by_id;
+  for (const RequestMetrics& m : lost.requests) lost_by_id.emplace(m.id, &m);
+  bool any_resumed = false;
+  for (const RequestMetrics& m : kept.requests) {
+    if (m.attempt == 0) continue;
+    const RequestMetrics& twin = *lost_by_id.at(m.id);
+    EXPECT_GT(twin.attempt, 0u) << "retry sets must match";
+    // In lost-cache mode every retry restarts from scratch...
+    EXPECT_EQ(twin.resumed_tokens, 0);
+    // ...while a surviving cache resumes whatever was checkpointed. A
+    // resumed retry skips work, so it never finishes later (the tiny
+    // transfer span is absorbed by the next step boundary).
+    EXPECT_LE(m.completion.ns(), twin.completion.ns() + 1.0);
+    if (m.resumed_tokens > 0 || m.saved_tokens > 0) any_resumed = true;
+    if (m.resumed_tokens > 0) {
+      // TTFT of a resumed request points at the ORIGINAL first token,
+      // which predates the failure.
+      EXPECT_LT(m.first_token, Duration::millis(30));
+    }
+  }
+  EXPECT_TRUE(any_resumed);
+  EXPECT_GT(kept.cached_prefill_tokens, 0);
+  EXPECT_LT(kept.e2e_ms.p99, lost.e2e_ms.p99);
+}
+
+TEST(ClusterSim, ScaleDownMigrationMovesResidentStateAndReleasesCapacity) {
+  // A front-loaded burst, then silence: the autoscaler wants to shrink the
+  // fleet while work is still in flight. With migration enabled the retiree
+  // stops at its step boundary and hands its unfinished requests (with
+  // resident state) to the survivor instead of draining them itself.
+  const auto trace = bursty_trace(16, 16, Duration::millis(1), small_shape(), 3);
+  const auto run_with = [&](bool migrate) {
+    ClusterConfig cfg;
+    cfg.autoscale_period = Duration::millis(2);
+    cfg.cache = enabled_cache();
+    cfg.cache.migrate_on_retire = migrate;
+    ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(),
+                       moe::SkewProfile::switch_like(),
+                       uniform_fleet(2, core::StrategyKind::kMondeLoadBalanced,
+                                     SchedulerConfig{}),
+                       cfg};
+    const auto dispatcher = make_dispatcher(DispatchPolicy::kJoinShortestQueue, 17);
+    AutoscaleConfig as;
+    as.min_replicas = 1;
+    as.max_replicas = 2;
+    as.high_tokens_per_replica = 1 << 20;  // never scale up...
+    as.low_tokens_per_replica = 1 << 19;   // ...always want to scale down
+    const auto autoscaler = make_queue_pressure_autoscaler(as);
+    return cluster.run(trace, *dispatcher, autoscaler.get());
+  };
+  const ClusterReport moved = run_with(true);
+  const ClusterReport drained = run_with(false);
+  ASSERT_EQ(moved.requests.size(), trace.size());
+  ASSERT_EQ(drained.requests.size(), trace.size());
+  EXPECT_GT(moved.migrations, 0u);
+  EXPECT_EQ(drained.migrations, 0u);
+  bool saw_migrate_event = false;
+  for (const ClusterEvent& ev : moved.events) {
+    saw_migrate_event = saw_migrate_event || ev.kind == ClusterEvent::Kind::kMigrate;
+  }
+  EXPECT_TRUE(saw_migrate_event);
+  bool any_carried_state = false;
+  for (const RequestMetrics& m : moved.requests) {
+    if (m.attempt > 0 && (m.saved_tokens > 0 || m.resumed_tokens > 0)) {
+      any_carried_state = true;
+    }
+  }
+  EXPECT_TRUE(any_carried_state);
+  // Migration releases the retiree at its step boundary instead of billing
+  // its whole self-drain: the fleet pays fewer replica-seconds.
+  EXPECT_LT(moved.replica_seconds, drained.replica_seconds);
+  for (const ReplicaReport& rr : moved.replicas) {
+    if (rr.retired) {
+      EXPECT_LT(rr.alive_until, moved.makespan) << rr.name;
+    }
+  }
+}
+
+TEST(ClusterSim, EvacuatedReplicaLaterFailStopIsHarmless) {
+  // The retiree is evacuated at the first autoscale tick; its injected
+  // fail-stop fires much later, on an already-empty server. The heartbeat
+  // monitor must tolerate the evacuated replica (there is nothing left to
+  // harvest) instead of aborting the run.
+  const auto trace = bursty_trace(16, 16, Duration::millis(1), small_shape(), 3);
+  ClusterConfig cfg;
+  cfg.autoscale_period = Duration::millis(2);
+  cfg.cache = enabled_cache();
+  cfg.cache.migrate_on_retire = true;
+  // The weak replica 1 always owes more, so replica 0 -- the faulty one --
+  // is deterministically the scale-down victim.
+  SchedulerConfig weak;
+  weak.token_budget = 32;
+  weak.fixed_batch = 4;
+  std::vector<ReplicaSpec> specs;
+  specs.push_back({core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{}, 1, {}});
+  specs.push_back({core::StrategyKind::kMondeLoadBalanced, weak, 2, {}});
+  specs[0].fault.fail_at = Duration::millis(60);
+  ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                     specs, cfg};
+  const auto dispatcher = make_dispatcher(DispatchPolicy::kJoinShortestQueue, 17);
+  AutoscaleConfig as;
+  as.min_replicas = 1;
+  as.max_replicas = 2;
+  as.high_tokens_per_replica = 1 << 20;
+  as.low_tokens_per_replica = 1 << 19;  // always below: shrink when possible
+  const auto autoscaler = make_queue_pressure_autoscaler(as);
+  const ClusterReport rep = cluster.run(trace, *dispatcher, autoscaler.get());
+  ASSERT_EQ(rep.requests.size(), trace.size());
+  EXPECT_GT(rep.migrations, 0u);
+  const ReplicaReport& victim = rep.replicas[0];
+  EXPECT_TRUE(victim.retired);
+  EXPECT_TRUE(victim.failed);  // died long after its work moved away
+  // The death of an empty, evacuated replica strands nothing.
+  std::size_t post_death_retries = 0;
+  for (const ClusterEvent& ev : rep.events) {
+    if (ev.kind == ClusterEvent::Kind::kRetry) ++post_death_retries;
+  }
+  EXPECT_EQ(post_death_retries, 0u);
+}
+
+TEST(ClusterSim, DoubleFailureRebasesMetricsAcrossAttempts) {
+  // The retry replica itself dies: stranded requests go around twice
+  // (attempt 2 lands on an autoscaled replacement), and fleet metrics stay
+  // keyed to the original arrival through both failures.
+  const auto trace = closed_loop_trace(8, small_shape(), 9);
+  ClusterConfig cfg;
+  cfg.health.heartbeat_interval = Duration::millis(1);
+  cfg.health.heartbeat_timeout = Duration::millis(2);
+  cfg.retry_timeout = Duration::millis(3);
+  cfg.autoscale_period = Duration::millis(1);
+  cfg.warmup = Duration::millis(1) / 2.0;
+  auto specs = uniform_fleet(2, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  specs[0].fault.fail_at = Duration::millis(2);
+  specs[1].fault.fail_at = Duration::millis(8);
+  ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                     specs, cfg};
+  const auto dispatcher = make_dispatcher(DispatchPolicy::kJoinShortestQueue, 7);
+  AutoscaleConfig as;
+  as.min_replicas = 1;
+  as.max_replicas = 4;
+  as.high_tokens_per_replica = 1 << 20;  // replace dead capacity, nothing more
+  as.low_tokens_per_replica = 1;
+  const auto autoscaler = make_queue_pressure_autoscaler(as);
+  const ClusterReport rep = cluster.run(trace, *dispatcher, autoscaler.get());
+
+  ASSERT_EQ(rep.requests.size(), trace.size());
+  const Duration second_detect =
+      failure_detection_time(specs[1].fault.fail_at, cfg.health);
+  std::size_t twice_retried = 0;
+  for (const RequestMetrics& m : rep.requests) {
+    if (m.attempt < 2) continue;
+    ++twice_retried;
+    // Re-based to the original (t = 0) arrival, so the E2E spans BOTH
+    // failures and both retry timeouts.
+    EXPECT_DOUBLE_EQ(m.arrival.ns(), 0.0);
+    EXPECT_GT(m.completion, second_detect + cfg.retry_timeout);
+    EXPECT_GT(m.e2e(), second_detect + cfg.retry_timeout);  // arrival re-based to 0
+  }
+  EXPECT_GT(twice_retried, 0u);
+  std::size_t detections = 0;
+  for (const ClusterEvent& ev : rep.events) {
+    if (ev.kind == ClusterEvent::Kind::kFailureDetected) ++detections;
+  }
+  EXPECT_EQ(detections, 2u);
+  EXPECT_TRUE(rep.replicas[0].failed);
+  EXPECT_TRUE(rep.replicas[1].failed);
+  ASSERT_GT(rep.replicas.size(), 2u);  // the autoscaler replaced capacity
+}
+
 }  // namespace
 }  // namespace monde::serve

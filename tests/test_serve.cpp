@@ -469,5 +469,330 @@ TEST(ServerSim, RejectsEmptyTrace) {
   EXPECT_THROW((void)sim.run({}), Error);
 }
 
+// --- Resume / prefix-cache / size-aware admission -----------------------------
+
+TEST(Scheduler, ResumedRequestContinuesFromCheckpoint) {
+  SchedulerConfig cfg;
+  ContinuousBatchScheduler sched{cfg};
+  Request rq;
+  rq.id = 7;
+  rq.prompt_len = 40;
+  rq.max_new_tokens = 6;
+  rq.attempt = 1;
+  rq.resume.prefilled = 40;
+  rq.resume.decoded = 2;
+  rq.resume.first_token = Duration::millis(3);
+  sched.push(rq);
+  sched.seal();
+  EXPECT_EQ(sched.outstanding_tokens(), 4);  // only the remaining decode is owed
+  sched.release_arrivals(Duration::zero());
+  const auto newly = sched.admit();
+  ASSERT_EQ(newly.size(), 1u);
+  EXPECT_EQ(newly[0]->saved_tokens, 40);  // default discount = the resumed prefix
+  EXPECT_EQ(newly[0]->generated, 2);
+  EXPECT_EQ(sched.slots()[0].step, 2);  // decode depth carries over
+
+  StepOutcome out = sched.complete_step(Duration::millis(10));
+  ASSERT_EQ(out.advanced.size(), 1u);
+  EXPECT_EQ(out.advanced[0], 7u);
+  EXPECT_TRUE(out.finished.empty());
+  EXPECT_EQ(sched.states()[0].generated, 3);
+  // The original attempt's first token keeps its instant across resumes.
+  EXPECT_DOUBLE_EQ(sched.states()[0].first_token.ms(), 3.0);
+
+  sched.complete_step(Duration::millis(11));
+  sched.complete_step(Duration::millis(12));
+  out = sched.complete_step(Duration::millis(13));  // 6th token overall
+  ASSERT_EQ(out.finished.size(), 1u);
+  EXPECT_EQ(out.finished[0], 7u);
+  EXPECT_TRUE(sched.drained());
+  EXPECT_EQ(sched.outstanding_tokens(), 0);
+  EXPECT_EQ(sched.states()[0].generated, 6);
+  EXPECT_DOUBLE_EQ(sched.states()[0].first_token.ms(), 3.0);
+  EXPECT_DOUBLE_EQ(sched.states()[0].completion.ms(), 13.0);
+}
+
+TEST(Scheduler, PrefillDiscountShrinksAdmissionCharge) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 50;
+  ContinuousBatchScheduler sched{cfg};
+  // Two 40-token prompts: undiscounted, only one fits (40+40+2 > 50); with
+  // half the prompt cached, both do (20+20+2 <= 50).
+  sched.set_prefill_discount([](const Request& rq) { return rq.prompt_len / 2; });
+  sched.submit({{0, Duration::zero(), 40, 4}, {1, Duration::zero(), 40, 4}});
+  sched.release_arrivals(Duration::zero());
+  const auto newly = sched.admit();
+  ASSERT_EQ(newly.size(), 2u);
+  EXPECT_EQ(newly[0]->saved_tokens, 20);  // frozen for the server's pricing
+  EXPECT_EQ(newly[1]->saved_tokens, 20);
+}
+
+TEST(Scheduler, SizeAwareAdmissionPrefersFewestRemainingTokens) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 45;
+  const auto admitted_first = [&](bool size_aware) {
+    cfg.size_aware_admission = size_aware;
+    ContinuousBatchScheduler sched{cfg};
+    // A 40-token giant arrives ahead of an 8-token short request.
+    sched.submit({{0, Duration::zero(), 40, 4}, {1, Duration::zero(), 8, 2}});
+    sched.release_arrivals(Duration::zero());
+    const auto newly = sched.admit();
+    EXPECT_EQ(newly.size(), 1u);  // either way only one fits the 45-token budget
+    return newly.empty() ? std::uint64_t{99} : newly[0]->request.id;
+  };
+  EXPECT_EQ(admitted_first(false), 0u);  // FIFO: the giant, short waits behind it
+  EXPECT_EQ(admitted_first(true), 1u);   // size-aware: the short slips past
+}
+
+TEST(Scheduler, SizeAwareBypassLimitGuardsStarvation) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 32;
+  cfg.size_aware_admission = true;
+  cfg.admission_bypass_limit = 2;
+  ContinuousBatchScheduler sched{cfg};
+  std::vector<Request> trace;
+  trace.push_back({0, Duration::zero(), 30, 2});  // the giant
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    trace.push_back({i, Duration::zero(), 8, 2});
+  }
+  for (const Request& rq : trace) sched.push(rq);
+  sched.release_arrivals(Duration::zero());
+
+  // Round 1: three shorts fit (8*3 + 3 slots <= 32); the giant is bypassed.
+  auto newly = sched.admit();
+  ASSERT_EQ(newly.size(), 3u);
+  for (const RequestState* rs : newly) EXPECT_NE(rs->request.id, 0u);
+  sched.complete_step(Duration::millis(1));
+
+  // Round 2: the remaining shorts leapfrog again (bypass count hits 2).
+  newly = sched.admit();
+  ASSERT_EQ(newly.size(), 3u);
+  for (const RequestState* rs : newly) EXPECT_NE(rs->request.id, 0u);
+  sched.complete_step(Duration::millis(2));  // shorts 1-3 finish (2 tokens)
+
+  // Round 3: the giant is past its bypass limit. It cannot fit beside the
+  // three active shorts, and nothing may leapfrog it any more -- not even a
+  // fresh short arrival.
+  sched.push({7, Duration::millis(2), 8, 2});
+  sched.release_arrivals(Duration::millis(2));
+  EXPECT_TRUE(sched.admit().empty());
+  sched.complete_step(Duration::millis(3));  // shorts 4-6 finish; server empties
+
+  // Round 4: seniority wins -- the giant admits before the waiting short.
+  newly = sched.admit();
+  ASSERT_EQ(newly.size(), 1u);
+  EXPECT_EQ(newly[0]->request.id, 0u);
+}
+
+TEST(Arrivals, SharedPrefixGroupsAreOptInAndDeterministic) {
+  const RequestShape plain = small_shape();
+  const auto base = poisson_trace(20, 50.0, plain, 9);
+  RequestShape pref = plain;
+  pref.prefix_groups = 3;
+  pref.shared_fraction = 1.0;
+  pref.shared_prefix_len = 8;
+  const auto with = poisson_trace(20, 50.0, pref, 9);
+  ASSERT_EQ(with.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    // Arrival and shape streams are untouched by the (later) prefix draws.
+    EXPECT_DOUBLE_EQ(with[i].arrival.ns(), base[i].arrival.ns());
+    EXPECT_EQ(with[i].prompt_len, base[i].prompt_len);
+    EXPECT_EQ(with[i].max_new_tokens, base[i].max_new_tokens);
+    EXPECT_EQ(base[i].prefix_id, 0u);
+    EXPECT_GE(with[i].prefix_id, 1u);
+    EXPECT_LE(with[i].prefix_id, 3u);
+    EXPECT_EQ(with[i].shared_prefix_len, 8);
+  }
+  // Deterministic given the seed, including the prefix assignment.
+  const auto again = poisson_trace(20, 50.0, pref, 9);
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(again[i].prefix_id, with[i].prefix_id);
+  }
+  RequestShape bad = pref;
+  bad.shared_prefix_len = plain.prompt_min + 1;  // not every member carries it
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(ServerSim, DisabledCacheConfigIsBitIdenticalToDefault) {
+  // The acceptance pin: constructing a server with an explicit (disabled)
+  // PrefixCacheConfig -- on a trace that even carries shared-prefix ids --
+  // must reproduce the default server bit for bit.
+  RequestShape shape = small_shape();
+  shape.prefix_groups = 2;
+  shape.shared_fraction = 0.75;
+  shape.shared_prefix_len = 8;
+  const auto trace = poisson_trace(10, 60.0, shape, 11);
+  SchedulerConfig cfg;
+  auto ref_engine = make_engine(core::StrategyKind::kMondeLoadBalanced, 21);
+  const ServeReport ref = ServerSim{ref_engine, cfg}.run(trace);
+  PrefixCacheConfig off;  // disabled; knob values must not matter
+  off.capacity_tokens = 1;
+  auto engine = make_engine(core::StrategyKind::kMondeLoadBalanced, 21);
+  const ServeReport rep =
+      ServerSim{engine, cfg, Duration::zero(), {}, off}.run(trace);
+  ASSERT_EQ(rep.requests.size(), ref.requests.size());
+  for (std::size_t i = 0; i < rep.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rep.requests[i].first_token.ns(), ref.requests[i].first_token.ns());
+    EXPECT_DOUBLE_EQ(rep.requests[i].completion.ns(), ref.requests[i].completion.ns());
+    EXPECT_EQ(rep.requests[i].saved_tokens, 0);
+  }
+  ASSERT_EQ(rep.steps.size(), ref.steps.size());
+  for (std::size_t i = 0; i < rep.steps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rep.steps[i].end.ns(), ref.steps[i].end.ns());
+    EXPECT_EQ(rep.steps[i].cached_tokens, 0);
+  }
+  EXPECT_DOUBLE_EQ(rep.makespan.ns(), ref.makespan.ns());
+  EXPECT_EQ(rep.cache.lookups, 0u);
+}
+
+TEST(ServerSim, SharedPrefixCacheSkipsPrefillAndShrinksMakespan) {
+  RequestShape shape = small_shape();
+  shape.prefix_groups = 2;
+  shape.shared_fraction = 1.0;
+  shape.shared_prefix_len = 12;
+  // Closed-loop: the server is never idle, so the makespan IS the busy time
+  // and skipped prefill work shows up in it directly (an open-loop trace
+  // would let arrival-gap idling blur the comparison).
+  const auto trace = closed_loop_trace(10, shape, 11);
+  SchedulerConfig cfg;
+  auto ref_engine = make_engine(core::StrategyKind::kMondeLoadBalanced, 21);
+  const ServeReport off = ServerSim{ref_engine, cfg}.run(trace);
+  PrefixCacheConfig cache;
+  cache.enabled = true;
+  auto engine = make_engine(core::StrategyKind::kMondeLoadBalanced, 21);
+  const ServeReport on =
+      ServerSim{engine, cfg, Duration::zero(), {}, cache}.run(trace);
+  EXPECT_GT(on.cache.hits, 0u);
+  EXPECT_GT(on.cache.saved_tokens, 0);
+  EXPECT_GT(on.cache.resident_peak, 0);
+  std::int64_t cached = 0, prefilled = 0;
+  for (const StepRecord& s : on.steps) {
+    cached += s.cached_tokens;
+    prefilled += s.prefill_tokens;
+  }
+  EXPECT_EQ(cached, on.cache.saved_tokens);
+  std::int64_t prompt_total = 0;
+  for (const Request& rq : trace) prompt_total += rq.prompt_len;
+  EXPECT_EQ(prefilled + cached, prompt_total);  // every prompt token accounted
+  // Skipped prefill work is real simulated time saved.
+  EXPECT_LT(on.makespan, off.makespan);
+  ASSERT_EQ(on.requests.size(), trace.size());
+  for (const RequestMetrics& m : on.requests) EXPECT_GT(m.generated, 0);
+}
+
+TEST(ServerSim, EvacuateHandsBackUnfinishedWithCheckpoints) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 64;
+  RequestShape shape = small_shape();
+  shape.prompt_min = shape.prompt_max = 16;
+  shape.new_tokens_min = shape.new_tokens_max = 6;
+  // Three 16-token prompts co-admit in step 1 (48 + 3 slots <= 64).
+  const auto trace = closed_loop_trace(3, shape, 11);
+  // A fault-free twin maps the step boundaries.
+  auto twin_engine = make_engine(core::StrategyKind::kMondeAmove);
+  const ServeReport twin = ServerSim{twin_engine, cfg}.run(trace);
+  ASSERT_GE(twin.steps.size(), 3u);
+
+  PrefixCacheConfig cache;
+  cache.enabled = true;
+  auto engine = make_engine(core::StrategyKind::kMondeAmove);
+  ServerSim sim{engine, cfg, Duration::zero(), {}, cache};
+  for (const Request& rq : trace) sim.enqueue(rq);
+  // Advance into step 2: step 1's completion is applied, step 2 is priced
+  // and pending. Evacuation stops at the step-2 boundary, so the migrated
+  // checkpoint carries two applied decode steps.
+  sim.advance_to(twin.steps[1].start + (twin.steps[1].end - twin.steps[1].start) * 0.5);
+  const std::vector<Request> moved = sim.evacuate();
+  ASSERT_EQ(moved.size(), trace.size());  // 6-token budgets: nothing finished yet
+  for (const Request& rq : moved) {
+    EXPECT_EQ(rq.resume.prefilled, rq.prompt_len);
+    EXPECT_EQ(rq.resume.decoded, 2);
+    EXPECT_DOUBLE_EQ(rq.resume.first_token.ns(), twin.steps[0].end.ns());
+    EXPECT_NO_THROW(rq.validate());
+  }
+  EXPECT_THROW(sim.enqueue({99, sim.now(), 8, 2}), Error);
+  EXPECT_THROW((void)sim.evacuate(), Error);  // at most once
+  sim.drain();  // report covers (zero) completed requests
+  EXPECT_TRUE(sim.report().requests.empty());
+}
+
+TEST(ServerSim, EvacuateDiscardsStepThatOutlivesScheduledFailStop) {
+  // Retire-then-die race: the autoscaler evacuates a replica whose
+  // in-flight step crosses its scheduled fail-stop. The node never lives
+  // to finish that step, so migration must not rescue its effects -- the
+  // checkpoint stops at the last step completed BEFORE the death.
+  SchedulerConfig cfg;
+  cfg.token_budget = 64;
+  RequestShape shape = small_shape();
+  shape.prompt_min = shape.prompt_max = 16;
+  shape.new_tokens_min = shape.new_tokens_max = 6;
+  const auto trace = closed_loop_trace(3, shape, 11);
+  auto twin_engine = make_engine(core::StrategyKind::kMondeAmove);
+  const ServeReport twin = ServerSim{twin_engine, cfg}.run(trace);
+  ASSERT_GE(twin.steps.size(), 3u);
+
+  FaultSpec fault;
+  const Duration span = twin.steps[1].end - twin.steps[1].start;
+  fault.fail_at = twin.steps[1].start + span * 0.5;  // death inside step 2
+  auto engine = make_engine(core::StrategyKind::kMondeAmove);
+  ServerSim sim{engine, cfg, Duration::zero(), fault};
+  for (const Request& rq : trace) sim.enqueue(rq);
+  // Advance to a point inside step 2 but BEFORE the death: step 2 is
+  // priced and pending, the server is still alive, and the retirement
+  // tick fires here.
+  sim.advance_to(twin.steps[1].start + span * 0.25);
+  ASSERT_FALSE(sim.failed());
+  const std::vector<Request> moved = sim.evacuate();
+  ASSERT_EQ(moved.size(), trace.size());
+  for (const Request& rq : moved) {
+    EXPECT_EQ(rq.resume.decoded, 1);  // step 1 committed; step 2 died with the node
+    EXPECT_EQ(rq.resume.prefilled, rq.prompt_len);
+  }
+}
+
+TEST(ServerSim, HarvestMidPrefillVsMidDecodeCheckpoints) {
+  // The checkpoint is the last COMPLETED step: dying inside the admission
+  // step loses the prefill (mid-prefill: resume stays zero), dying after n
+  // applied steps checkpoints the prompt + n tokens (mid-decode).
+  SchedulerConfig cfg;
+  cfg.token_budget = 64;
+  RequestShape shape = small_shape();
+  shape.prompt_min = shape.prompt_max = 24;
+  shape.new_tokens_min = shape.new_tokens_max = 6;
+  const auto trace = closed_loop_trace(2, shape, 3);
+  auto twin_engine = make_engine(core::StrategyKind::kMondeAmove);
+  const ServeReport twin = ServerSim{twin_engine, cfg}.run(trace);
+  ASSERT_GE(twin.steps.size(), 3u);
+
+  const auto strand_at = [&](Duration fail_at) {
+    FaultSpec fault;
+    fault.fail_at = fail_at;
+    auto engine = make_engine(core::StrategyKind::kMondeAmove);
+    ServerSim sim{engine, cfg, Duration::zero(), fault};
+    for (const Request& rq : trace) sim.enqueue(rq);
+    sim.advance_to(Duration::infinite());
+    EXPECT_TRUE(sim.failed());
+    EXPECT_THROW((void)sim.evacuate(), Error);  // a dead server cannot migrate
+    return sim.harvest_stranded();
+  };
+
+  // Mid-prefill: death inside step 1, before its completion lands.
+  const auto lost = strand_at(twin.steps[0].start + (twin.steps[0].end - twin.steps[0].start) * 0.5);
+  ASSERT_EQ(lost.size(), trace.size());
+  for (const Request& rq : lost) {
+    EXPECT_EQ(rq.resume.prefilled, 0);
+    EXPECT_EQ(rq.resume.decoded, 0);
+  }
+
+  // Mid-decode: death inside step 3; steps 1-2 committed two tokens each.
+  const auto kept = strand_at(twin.steps[2].start + (twin.steps[2].end - twin.steps[2].start) * 0.5);
+  ASSERT_EQ(kept.size(), trace.size());
+  for (const Request& rq : kept) {
+    EXPECT_EQ(rq.resume.prefilled, rq.prompt_len);
+    EXPECT_EQ(rq.resume.decoded, 2);
+    EXPECT_DOUBLE_EQ(rq.resume.first_token.ns(), twin.steps[0].end.ns());
+  }
+}
+
 }  // namespace
 }  // namespace monde::serve
