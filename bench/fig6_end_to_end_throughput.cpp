@@ -3,12 +3,18 @@
 // decoder, batch sizes 1 and 4.
 //
 // Also prints the Table 2 workload summary the runs are configured from.
+//
+//   ./bench/fig6_end_to_end_throughput                full reproduction
+//   ./bench/fig6_end_to_end_throughput --json f       + deterministic metrics
+//                                                       (the bench budget gate)
 #include "bench_util.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace monde;
   using core::StrategyKind;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::BenchMetrics metrics{"fig6_end_to_end_throughput"};
   bench::banner("Figure 6", "end-to-end throughput normalized to Ideal");
 
   {  // Table 2 header.
@@ -46,6 +52,12 @@ int main() {
         t.add_row({model.name, std::to_string(batch), Table::num(tput[0] / ideal, 3),
                    Table::num(tput[1] / ideal, 3), Table::num(tput[2] / ideal, 3), "1.000",
                    Table::num(tput[2] / tput[0], 2) + "x"});
+        const std::string key = std::string{decoder ? "dec" : "enc"} + "." + model.name +
+                                ".b" + std::to_string(batch);
+        metrics.add(key + ".gpu_pm_norm", tput[0] / ideal);
+        metrics.add(key + ".md_am_norm", tput[1] / ideal);
+        metrics.add(key + ".md_lb_norm", tput[2] / ideal);
+        metrics.add(key + ".md_lb_over_gpu_pm", tput[2] / tput[0]);
       }
     }
     std::printf("%s throughput (normalized to Ideal):\n", decoder ? "decoder" : "encoder");
@@ -55,5 +67,6 @@ int main() {
   std::printf("paper: MD+LB over GPU+PM -- encoder 3.1x (SL-128) / 6.7x (N-MoE);\n"
               "       decoder 1.1x / 1.9x; MD+LB approaches the Ideal GPU.\n");
   factory.report_memo_stats();
+  metrics.write(args.json_path);
   return 0;
 }

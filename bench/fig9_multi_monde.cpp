@@ -4,12 +4,18 @@
 // Encoder throughput scales with device count (more aggregate compute and
 // bandwidth); decoder gains are flat because few tokens cannot fill
 // multiple NDP devices.
+//
+//   ./bench/fig9_multi_monde                full reproduction
+//   ./bench/fig9_multi_monde --json f       + deterministic metrics (the
+//                                             bench budget gate)
 #include "bench_util.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace monde;
   using core::StrategyKind;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::BenchMetrics metrics{"fig9_multi_monde"};
   bench::banner("Figure 9", "multi-MoNDE scalability (NLLB-MoE, normalized to GPU+PM)");
 
   bench::EngineFactory factory;
@@ -33,6 +39,9 @@ int main() {
                                        : eng.run_encoder(batch, 512))
                                   .moe.sec();
         row.push_back(Table::num(moe_pm / moe_lb, 2) + "x");
+        metrics.add(std::string{decoder ? "dec" : "enc"} + ".b" + std::to_string(batch) +
+                        ".d" + std::to_string(devices) + ".speedup_vs_gpu_pm",
+                    moe_pm / moe_lb);
       }
       t.add_row(std::move(row));
     }
@@ -42,5 +51,6 @@ int main() {
   }
   std::printf("paper: encoder gains grow with device count; decoder gains stay flat\n"
               "       (1/4/16 tokens cannot utilize multiple NDP devices).\n");
+  metrics.write(args.json_path);
   return 0;
 }

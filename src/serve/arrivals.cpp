@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-
-#include "common/rng.hpp"
+#include <utility>
 
 namespace monde::serve {
 
@@ -29,72 +28,153 @@ std::int64_t draw_range(Rng& rng, std::int64_t lo, std::int64_t hi) {
                   rng.next_below(static_cast<std::uint64_t>(hi - lo + 1)));
 }
 
-/// Shared tail: assign ids and shapes over a vector of arrival times.
-std::vector<Request> shape_trace(const std::vector<Duration>& arrivals,
-                                 const RequestShape& shape, std::uint64_t seed) {
-  Rng rng{seed};
-  // Prefix assignment draws from its own stream (like the arrival stream)
-  // so enabling shared prefixes leaves the per-request shapes bit-identical.
-  Rng prefix_rng{seed ^ 0x9e3779b97f4a7c15ULL};
-  std::vector<Request> trace;
-  trace.reserve(arrivals.size());
-  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+/// Shared generator core: ids and shapes over arrival times produced one at
+/// a time by the subclass. The shape and prefix draws live on their own RNG
+/// streams (and arrival-time generators on a third), so interleaving the
+/// draws per request yields bit-identical values to the historical
+/// build-arrivals-then-shape-everything order.
+class GeneratedStream : public ArrivalStream {
+ public:
+  GeneratedStream(int n, const RequestShape& shape, std::uint64_t seed)
+      : n_{static_cast<std::size_t>(n)},
+        shape_{shape},
+        rng_{seed},
+        // Prefix assignment draws from its own stream (like the arrival
+        // stream) so enabling shared prefixes leaves the per-request shapes
+        // bit-identical.
+        prefix_rng_{seed ^ 0x9e3779b97f4a7c15ULL} {
+    MONDE_REQUIRE(n > 0, "trace needs n > 0 requests, got " << n);
+    shape_.validate();
+  }
+
+  [[nodiscard]] std::optional<Request> next() final {
+    if (next_id_ >= n_) return std::nullopt;
     Request rq;
-    rq.id = i;
-    rq.arrival = arrivals[i];
-    rq.prompt_len = draw_range(rng, shape.prompt_min, shape.prompt_max);
-    rq.max_new_tokens = draw_range(rng, shape.new_tokens_min, shape.new_tokens_max);
-    if (shape.prefix_groups > 0 && prefix_rng.next_double() < shape.shared_fraction) {
+    rq.id = next_id_;
+    rq.arrival = arrival_of(next_id_);
+    rq.prompt_len = draw_range(rng_, shape_.prompt_min, shape_.prompt_max);
+    rq.max_new_tokens = draw_range(rng_, shape_.new_tokens_min, shape_.new_tokens_max);
+    if (shape_.prefix_groups > 0 && prefix_rng_.next_double() < shape_.shared_fraction) {
       rq.prefix_id =
-          1 + prefix_rng.next_below(static_cast<std::uint64_t>(shape.prefix_groups));
-      rq.shared_prefix_len = std::min(shape.shared_prefix_len, rq.prompt_len);
+          1 + prefix_rng_.next_below(static_cast<std::uint64_t>(shape_.prefix_groups));
+      rq.shared_prefix_len = std::min(shape_.shared_prefix_len, rq.prompt_len);
     }
     rq.validate();
-    trace.push_back(rq);
+    ++next_id_;
+    return rq;
   }
-  return trace;
-}
+
+  [[nodiscard]] std::size_t size_hint() const final { return n_; }
+
+ protected:
+  /// Arrival instant of request `id`; called once per id, in id order.
+  [[nodiscard]] virtual Duration arrival_of(std::uint64_t id) = 0;
+
+ private:
+  std::size_t n_;
+  RequestShape shape_;
+  Rng rng_;         ///< prompt-length / decode-budget draws
+  Rng prefix_rng_;  ///< shared-prefix group draws
+  std::uint64_t next_id_ = 0;
+};
+
+class ClosedLoopStream final : public GeneratedStream {
+ public:
+  using GeneratedStream::GeneratedStream;
+
+ protected:
+  [[nodiscard]] Duration arrival_of(std::uint64_t) override { return Duration::zero(); }
+};
+
+class PoissonStream final : public GeneratedStream {
+ public:
+  PoissonStream(int n, double rate_per_s, const RequestShape& shape, std::uint64_t seed)
+      // Draw inter-arrival gaps with an Rng distinct from the shape stream
+      // so changing the shape envelope does not perturb arrival times.
+      : GeneratedStream{n, shape, seed}, rate_{rate_per_s}, rng_{seed ^ 0xa11a5a11a5ULL} {
+    MONDE_REQUIRE(rate_per_s > 0.0, "Poisson trace needs rate > 0, got " << rate_per_s);
+  }
+
+ protected:
+  [[nodiscard]] Duration arrival_of(std::uint64_t) override {
+    // Exponential inter-arrival: -ln(1-u) / rate.
+    t_ += Duration::seconds(-std::log(1.0 - rng_.next_double()) / rate_);
+    return t_;
+  }
+
+ private:
+  double rate_;
+  Rng rng_;  ///< arrival-gap draws
+  Duration t_ = Duration::zero();
+};
+
+class BurstyStream final : public GeneratedStream {
+ public:
+  BurstyStream(int n, int burst_size, Duration burst_gap, const RequestShape& shape,
+               std::uint64_t seed)
+      : GeneratedStream{n, shape, seed}, burst_size_{burst_size}, burst_gap_{burst_gap} {
+    MONDE_REQUIRE(burst_size > 0, "bursty trace needs burst_size > 0, got " << burst_size);
+    MONDE_REQUIRE(burst_gap > Duration::zero(), "bursty trace needs a positive burst gap");
+  }
+
+ protected:
+  [[nodiscard]] Duration arrival_of(std::uint64_t id) override {
+    return burst_gap_ * static_cast<double>(static_cast<std::int64_t>(id) / burst_size_);
+  }
+
+ private:
+  int burst_size_;
+  Duration burst_gap_;
+};
 
 }  // namespace
 
+std::unique_ptr<ArrivalStream> closed_loop_stream(int n, const RequestShape& shape,
+                                                  std::uint64_t seed) {
+  return std::make_unique<ClosedLoopStream>(n, shape, seed);
+}
+
+std::unique_ptr<ArrivalStream> poisson_stream(int n, double rate_per_s,
+                                              const RequestShape& shape, std::uint64_t seed) {
+  return std::make_unique<PoissonStream>(n, rate_per_s, shape, seed);
+}
+
+std::unique_ptr<ArrivalStream> bursty_stream(int n, int burst_size, Duration burst_gap,
+                                             const RequestShape& shape, std::uint64_t seed) {
+  return std::make_unique<BurstyStream>(n, burst_size, burst_gap, shape, seed);
+}
+
+TraceArrivalStream::TraceArrivalStream(std::vector<Request> trace)
+    : trace_{std::move(trace)} {}
+
+std::optional<Request> TraceArrivalStream::next() {
+  if (pos_ >= trace_.size()) return std::nullopt;
+  const Request& rq = trace_[pos_];
+  MONDE_REQUIRE(pos_ == 0 || !arrival_order(rq, trace_[pos_ - 1]),
+                "trace replay is out of (arrival, id) order at position " << pos_);
+  ++pos_;
+  return rq;
+}
+
+std::vector<Request> materialize(ArrivalStream& stream) {
+  std::vector<Request> trace;
+  trace.reserve(stream.size_hint());
+  while (std::optional<Request> rq = stream.next()) trace.push_back(*rq);
+  return trace;
+}
+
 std::vector<Request> closed_loop_trace(int n, const RequestShape& shape, std::uint64_t seed) {
-  MONDE_REQUIRE(n > 0, "trace needs n > 0 requests, got " << n);
-  shape.validate();
-  return shape_trace(std::vector<Duration>(static_cast<std::size_t>(n), Duration::zero()),
-                     shape, seed);
+  return materialize(*closed_loop_stream(n, shape, seed));
 }
 
 std::vector<Request> poisson_trace(int n, double rate_per_s, const RequestShape& shape,
                                    std::uint64_t seed) {
-  MONDE_REQUIRE(n > 0, "trace needs n > 0 requests, got " << n);
-  MONDE_REQUIRE(rate_per_s > 0.0, "Poisson trace needs rate > 0, got " << rate_per_s);
-  shape.validate();
-  // Draw inter-arrival gaps with an Rng distinct from the shape stream so
-  // changing the shape envelope does not perturb arrival times.
-  Rng rng{seed ^ 0xa11a5a11a5ULL};
-  std::vector<Duration> arrivals;
-  arrivals.reserve(static_cast<std::size_t>(n));
-  Duration t = Duration::zero();
-  for (int i = 0; i < n; ++i) {
-    // Exponential inter-arrival: -ln(1-u) / rate.
-    t += Duration::seconds(-std::log(1.0 - rng.next_double()) / rate_per_s);
-    arrivals.push_back(t);
-  }
-  return shape_trace(arrivals, shape, seed);
+  return materialize(*poisson_stream(n, rate_per_s, shape, seed));
 }
 
 std::vector<Request> bursty_trace(int n, int burst_size, Duration burst_gap,
                                   const RequestShape& shape, std::uint64_t seed) {
-  MONDE_REQUIRE(n > 0, "trace needs n > 0 requests, got " << n);
-  MONDE_REQUIRE(burst_size > 0, "bursty trace needs burst_size > 0, got " << burst_size);
-  MONDE_REQUIRE(burst_gap > Duration::zero(), "bursty trace needs a positive burst gap");
-  shape.validate();
-  std::vector<Duration> arrivals;
-  arrivals.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    arrivals.push_back(burst_gap * static_cast<double>(i / burst_size));
-  }
-  return shape_trace(arrivals, shape, seed);
+  return materialize(*bursty_stream(n, burst_size, burst_gap, shape, seed));
 }
 
 }  // namespace monde::serve

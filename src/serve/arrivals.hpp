@@ -9,11 +9,23 @@
 //                     tail latency.
 // Generation is deterministic given the seed; request shapes (prompt length,
 // decode budget) are drawn uniformly from a RequestShape envelope.
+//
+// Two consumption styles over the same generators:
+//   * streaming  -- an ArrivalStream hands out requests one at a time in
+//     (arrival, id) order with O(1) generator state, so a cluster run over a
+//     million requests never holds the trace in memory;
+//   * materialized -- the classic `std::vector<Request>` builders, now thin
+//     adapters that drain the corresponding stream. A trace and its stream
+//     are bit-identical request for request (pinned by tests), so callers
+//     can switch styles without perturbing any simulation.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "serve/request.hpp"
 
 namespace monde::serve {
@@ -38,6 +50,56 @@ struct RequestShape {
 
   void validate() const;
 };
+
+/// Pull-based source of serving requests. next() yields requests in
+/// (arrival, id) order -- the scheduler's push() precondition -- and
+/// std::nullopt once the trace is exhausted (every call after that also
+/// yields nullopt). Generators hold O(1) state: seeded RNG streams plus a
+/// cursor, never a materialized trace.
+class ArrivalStream {
+ public:
+  virtual ~ArrivalStream() = default;
+
+  /// The next request, or std::nullopt when the stream is exhausted.
+  [[nodiscard]] virtual std::optional<Request> next() = 0;
+
+  /// Total requests this stream will yield, when known up front (every
+  /// generator in this header knows). Lets consumers pre-size bookkeeping
+  /// without draining the stream.
+  [[nodiscard]] virtual std::size_t size_hint() const = 0;
+};
+
+/// `n` requests all queued at t=0 (offline batch inference).
+[[nodiscard]] std::unique_ptr<ArrivalStream> closed_loop_stream(int n, const RequestShape& shape,
+                                                                std::uint64_t seed);
+
+/// Open-loop Poisson arrivals at `rate_per_s` requests per second.
+[[nodiscard]] std::unique_ptr<ArrivalStream> poisson_stream(int n, double rate_per_s,
+                                                            const RequestShape& shape,
+                                                            std::uint64_t seed);
+
+/// Bursts of `burst_size` back-to-back requests separated by `burst_gap`.
+[[nodiscard]] std::unique_ptr<ArrivalStream> bursty_stream(int n, int burst_size,
+                                                           Duration burst_gap,
+                                                           const RequestShape& shape,
+                                                           std::uint64_t seed);
+
+/// Replays an existing trace as a stream. The trace must already be in
+/// (arrival, id) order (generated traces are; hand-built ones may need a
+/// sort) -- enforced per next() call.
+class TraceArrivalStream final : public ArrivalStream {
+ public:
+  explicit TraceArrivalStream(std::vector<Request> trace);
+  [[nodiscard]] std::optional<Request> next() override;
+  [[nodiscard]] std::size_t size_hint() const override { return trace_.size(); }
+
+ private:
+  std::vector<Request> trace_;
+  std::size_t pos_ = 0;
+};
+
+/// Drain a stream into a vector (the materialized-trace adapter).
+[[nodiscard]] std::vector<Request> materialize(ArrivalStream& stream);
 
 /// `n` requests all queued at t=0 (offline batch inference).
 [[nodiscard]] std::vector<Request> closed_loop_trace(int n, const RequestShape& shape,

@@ -1,8 +1,11 @@
 #include "serve/cluster.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cmath>
+#include <optional>
 #include <queue>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "ndp/ndp_core.hpp"
@@ -118,19 +121,57 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
                               Autoscaler* autoscaler) {
   MONDE_REQUIRE(!used_, "ClusterSim::run() may be called only once");
   MONDE_REQUIRE(!trace.empty(), "cannot serve an empty trace");
-  used_ = true;
   std::stable_sort(trace.begin(), trace.end(), arrival_order<Request>);
+  // Preserve the classic error timing: duplicate ids are rejected before any
+  // simulation runs (the streaming path can only catch them on arrival).
+  {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(trace.size());
+    for (const Request& rq : trace) {
+      MONDE_REQUIRE(seen.insert(rq.id).second, "duplicate request id " << rq.id << " in trace");
+    }
+  }
+  TraceArrivalStream stream{std::move(trace)};
+  return run(stream, dispatcher, autoscaler);
+}
 
-  // Original arrivals, for re-basing retried requests' fleet metrics.
-  std::map<std::uint64_t, Duration> original_arrival;
-  for (const Request& rq : trace) {
+ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
+                              Autoscaler* autoscaler) {
+  MONDE_REQUIRE(!used_, "ClusterSim::run() may be called only once");
+  used_ = true;
+  const bool fast = !cfg_.reference_loop;
+  // The slow-EWMA soft filter compares every replica against a fleet-median
+  // cutoff -- inherently a full rebuild per dispatch -- so the incremental
+  // eligible index serves only the (default) disabled-filter configs; with a
+  // finite factor the calendar still drives advancement but dispatch falls
+  // back to exact full snapshots.
+  const bool incremental_eligible = fast && !std::isfinite(cfg_.health.slow_ewma_factor);
+
+  // --- Arrival intake: lazy stream head + duplicate/order policing --------
+  std::unordered_map<std::uint64_t, Duration> original_arrival;
+  original_arrival.reserve(arrivals.size_hint());
+  const auto note_original = [&](const Request& rq) {
     MONDE_REQUIRE(original_arrival.emplace(rq.id, rq.arrival).second,
                   "duplicate request id " << rq.id << " in trace");
-  }
+  };
+  std::optional<Request> head = arrivals.next();
+  MONDE_REQUIRE(head.has_value(), "cannot serve an empty trace");
+  note_original(*head);
+  const auto pull_head = [&] {
+    std::optional<Request> nxt = arrivals.next();
+    if (nxt.has_value()) {
+      MONDE_REQUIRE(!arrival_order(*nxt, *head),
+                    "arrival stream is out of (arrival, id) order at request " << nxt->id);
+      note_original(*nxt);
+    }
+    head = std::move(nxt);
+  };
 
-  // The work queue: original arrivals plus failure retries and scale-down
-  // migrations, dispatched in (time, id) order so per-replica enqueues stay
-  // (arrival, id)-ordered.
+  // The re-dispatch queue: failure retries and scale-down migrations, merged
+  // with the arrival stream in (time, id) order so per-replica enqueues stay
+  // (arrival, id)-ordered. (Originals used to sit in this heap too; the
+  // merge pops the exact same sequence, with O(retries) memory instead of
+  // O(trace).)
   struct Item {
     Duration time;
     Request rq;
@@ -140,27 +181,211 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
     return a.time != b.time ? a.time > b.time : a.rq.id > b.rq.id;
   };
   std::priority_queue<Item, std::vector<Item>, decltype(later)> pending{later};
-  for (const Request& rq : trace) pending.push(Item{rq.arrival, rq, false});
+  const auto has_item = [&] { return head.has_value() || !pending.empty(); };
+  const auto item_time = [&] {
+    Duration t = head.has_value() ? head->arrival : Duration::infinite();
+    if (!pending.empty()) t = monde::min(t, pending.top().time);
+    return t;
+  };
+  const auto pop_item = [&] {
+    // Lexicographic (time, id) merge; a stream request and a re-dispatch
+    // never collide exactly (ids are unique per attempt epoch).
+    const bool from_stream =
+        head.has_value() &&
+        (pending.empty() || head->arrival < pending.top().time ||
+         (head->arrival == pending.top().time && head->id < pending.top().rq.id));
+    if (from_stream) {
+      Item it{head->arrival, *head, false};
+      pull_head();
+      return it;
+    }
+    Item it = pending.top();
+    pending.pop();
+    return it;
+  };
 
+  // --- Event calendar (fast mode): per-replica server events --------------
+  // Min-heap keyed (time, replica); an entry is dead the moment its
+  // replica's version moved past the tagged one (lazy deletion). Invariant:
+  // every replica whose next_event_time() is finite has exactly one live
+  // entry -- each mutation site re-pushes, and a mutation always bumps the
+  // version, killing prior entries.
+  struct CalEntry {
+    Duration time;
+    std::uint64_t version;
+    std::size_t replica;
+  };
+  const auto cal_after = [](const CalEntry& a, const CalEntry& b) {
+    return a.time != b.time ? a.time > b.time : a.replica > b.replica;
+  };
+  std::priority_queue<CalEntry, std::vector<CalEntry>, decltype(cal_after)> calendar{
+      cal_after};
+  const auto push_calendar = [&](std::size_t i) {
+    if (!fast) return;
+    const ServerSim& s = *replicas_[i].server;
+    const Duration t = s.next_event_time();
+    if (t == Duration::infinite()) return;  // idle: woken by a future enqueue
+    calendar.push(CalEntry{t, s.version(), i});
+  };
+  const auto settle_calendar = [&] {
+    while (!calendar.empty() && calendar.top().version !=
+                                    replicas_[calendar.top().replica].server->version()) {
+      calendar.pop();
+    }
+  };
+
+  // Sorted fail-stop and detection cursors (fast mode): faults are fixed at
+  // construction (autoscaled replicas spawn fault-free), so the reference
+  // loop's per-event min-scans collapse to two precomputed orders.
+  std::vector<std::pair<Duration, std::size_t>> fail_order;    // (fail_at, replica)
+  std::vector<std::pair<Duration, std::size_t>> detect_order;  // (detect_at, replica)
+  if (fast) {
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i].server->fault().fail_stop()) {
+        fail_order.emplace_back(replicas_[i].server->fault().fail_at, i);
+        detect_order.emplace_back(replicas_[i].detect_at, i);
+      }
+    }
+    std::sort(fail_order.begin(), fail_order.end());
+    std::sort(detect_order.begin(), detect_order.end());
+  }
+  std::size_t fail_cursor = 0;
+  std::size_t detect_cursor = 0;
+
+  // --- Incremental eligible-snapshot index (fast mode, default filter) ----
+  // `eligible` holds exactly the accepting replicas in ascending index order
+  // (the order eligible_snapshots() yields); load fields are written through
+  // whenever a replica's server mutates, and the few time-varying fields
+  // that can still change without a mutation (warming during cold start,
+  // heartbeat age of an undetected fail-stop) are refreshed per dispatch
+  // from the `time_sensitive` worklist. Eligibility itself cannot silently
+  // change between mutations: detections are processed before any dispatch
+  // at or past them, and a healthy replica's heartbeat age never exceeds
+  // one interval (<= timeout).
+  constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::vector<ReplicaSnapshot> eligible;
+  std::vector<std::size_t> epos;            // replica index -> slot in `eligible`
+  std::vector<std::size_t> time_sensitive;  // replicas with time-varying fields
+  const auto make_snapshot = [&](std::size_t i, Duration now) {
+    const Replica& r = replicas_[i];
+    return ReplicaSnapshot{i,
+                           r.server->in_flight(),
+                           r.server->outstanding_tokens(),
+                           /*accepting=*/!r.detected && !r.retired,
+                           /*warming=*/r.server->start_at() > now,
+                           (now - last_ok_heartbeat(now, r.server->fault().fail_at,
+                                                    cfg_.health))
+                               .ms(),
+                           r.ewma_ms};
+  };
+  const auto eligible_add = [&](std::size_t i, Duration now) {
+    if (!incremental_eligible) return;
+    epos.resize(replicas_.size(), kNoSlot);
+    epos[i] = eligible.size();
+    eligible.push_back(make_snapshot(i, now));
+    if (replicas_[i].server->start_at() > now || replicas_[i].server->fault().fail_stop()) {
+      time_sensitive.push_back(i);
+    }
+  };
+  const auto eligible_remove = [&](std::size_t i) {
+    if (!incremental_eligible) return;
+    const std::size_t at = epos[i];
+    if (at == kNoSlot) return;
+    eligible.erase(eligible.begin() + static_cast<std::ptrdiff_t>(at));
+    epos[i] = kNoSlot;
+    for (std::size_t p = at; p < eligible.size(); ++p) epos[eligible[p].replica] = p;
+  };
+  const auto write_through = [&](std::size_t i) {
+    if (!incremental_eligible) return;
+    const std::size_t at = epos[i];
+    if (at == kNoSlot) return;
+    ReplicaSnapshot& s = eligible[at];
+    s.in_flight = replicas_[i].server->in_flight();
+    s.outstanding_tokens = replicas_[i].server->outstanding_tokens();
+    s.step_ewma_ms = replicas_[i].ewma_ms;
+  };
+  const auto refresh_time_sensitive = [&](Duration now) {
+    std::size_t keep = 0;
+    for (std::size_t k = 0; k < time_sensitive.size(); ++k) {
+      const std::size_t i = time_sensitive[k];
+      const Replica& r = replicas_[i];
+      const bool warming = r.server->start_at() > now;
+      if (epos[i] != kNoSlot) {
+        ReplicaSnapshot& s = eligible[epos[i]];
+        s.warming = warming;
+        s.heartbeat_age_ms =
+            (now - last_ok_heartbeat(now, r.server->fault().fail_at, cfg_.health)).ms();
+      }
+      // Done once the cold start is over and no fail-stop can age the
+      // heartbeat further (a detected replica left `eligible` for good).
+      if (warming || (r.server->fault().fail_stop() && !r.detected)) {
+        time_sensitive[keep++] = i;
+      }
+    }
+    time_sensitive.resize(keep);
+  };
+  if (incremental_eligible) {
+    for (std::size_t i = 0; i < replicas_.size(); ++i) eligible_add(i, Duration::zero());
+  }
+
+  // --- Fleet advancement ---------------------------------------------------
+  const auto advance_one = [&](std::size_t i, Duration t) {
+    Replica& r = replicas_[i];
+    r.server->advance_to(t);
+    update_ewma(r);
+    write_through(i);
+    push_calendar(i);
+  };
+  // Fast-mode equivalent of advance_all(t): eagerly kill replicas whose
+  // fail-stop lies at or before t (advance_to mutates them even when they
+  // look event-less), then drain every calendar entry strictly before t --
+  // each popped replica is advanced all the way to t, and a replica with no
+  // entry before t provably has nothing to do there (advance_to(t) with
+  // next_event_time() >= t is a no-op for a live server).
+  const auto advance_fleet_to = [&](Duration t) {
+    while (fail_cursor < fail_order.size() && fail_order[fail_cursor].first <= t) {
+      advance_one(fail_order[fail_cursor].second, t);
+      ++fail_cursor;
+    }
+    for (;;) {
+      settle_calendar();
+      if (calendar.empty() || calendar.top().time >= t) break;
+      const std::size_t i = calendar.top().replica;
+      calendar.pop();
+      advance_one(i, t);
+    }
+  };
+  const auto advance = [&](Duration t) {
+    if (fast) {
+      advance_fleet_to(t);
+      return;
+    }
+    for (Replica& r : replicas_) {
+      r.server->advance_to(t);
+      update_ewma(r);
+    }
+  };
+
+  const bool log = cfg_.event_log_enabled;
   std::vector<ClusterEvent> events;
   std::size_t retries = 0;
   std::size_t migrations = 0;
   std::size_t peak = accepting_count();
   Duration next_tick = cfg_.autoscale_period;
 
-  const auto advance_all = [&](Duration t) {
-    for (Replica& r : replicas_) {
-      r.server->advance_to(t);
-      update_ewma(r);
-    }
-  };
   // Work that keeps drain-phase autoscale ticks alive: any replica (even a
   // retiring one, whose drain extends the makespan survivors are billed to)
   // still owing requests AND able to serve them without drain() -- a
   // fixed-mode replica holding an under-full batch waits for a seal that
   // only drain() provides (next_event_time() is infinite), and ticking on
-  // it forever would hang the loop.
+  // it forever would hang the loop. In fast mode the settled calendar IS
+  // this predicate: a live entry exists iff some replica's next event is
+  // finite, which implies undetected work in flight.
   const auto fleet_has_live_work = [&] {
+    if (fast) {
+      settle_calendar();
+      return !calendar.empty();
+    }
     for (const Replica& r : replicas_) {
       if (!r.detected && r.server->in_flight() > 0 &&
           r.server->next_event_time() < Duration::infinite()) {
@@ -171,41 +396,54 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
   };
 
   for (;;) {
-    const Duration item_t = pending.empty() ? Duration::infinite() : pending.top().time;
+    const Duration item_t = item_time();
     // Earliest undetected fail-stop: its detection is a cluster event even
     // when it lies beyond the last arrival (stranded work must recover).
     Duration det_t = Duration::infinite();
     std::size_t det_i = 0;
-    for (std::size_t i = 0; i < replicas_.size(); ++i) {
-      const Replica& r = replicas_[i];
-      if (!r.detected && r.detect_at < det_t) {
-        det_t = r.detect_at;
-        det_i = i;
+    if (fast) {
+      if (detect_cursor < detect_order.size()) {
+        det_t = detect_order[detect_cursor].first;
+        det_i = detect_order[detect_cursor].second;
+      }
+    } else {
+      for (std::size_t i = 0; i < replicas_.size(); ++i) {
+        const Replica& r = replicas_[i];
+        if (!r.detected && r.detect_at < det_t) {
+          det_t = r.detect_at;
+          det_i = i;
+        }
       }
     }
     // The autoscaler ticks while arrivals/retries remain AND through the
     // drain phase while any replica still holds work, so late scale-downs
     // release idle capacity (drain-phase ticks may only scale down).
     const Duration tick_t =
-        (autoscaler != nullptr && (!pending.empty() || fleet_has_live_work()))
+        (autoscaler != nullptr && (has_item() || fleet_has_live_work()))
             ? next_tick
             : Duration::infinite();
 
     if (det_t <= item_t && det_t <= tick_t) {
       if (det_t == Duration::infinite()) break;  // nothing left to do
       Replica& r = replicas_[det_i];
-      advance_all(det_t);  // the dying replica freezes at its fail-stop instant
+      advance(det_t);  // the dying replica freezes at its fail-stop instant
       r.detected = true;
+      if (fast) ++detect_cursor;
+      eligible_remove(det_i);
       const Duration died_at = r.server->fault().fail_at;
-      events.push_back({ClusterEvent::Kind::kFailStop, died_at, det_i,
-                        "replica" + std::to_string(det_i) + " died"});
+      if (log) {
+        events.push_back({ClusterEvent::Kind::kFailStop, died_at, det_i,
+                          "replica" + std::to_string(det_i) + " died"});
+      }
       // A replica evacuated by a scale-down migration died empty: its work
       // already moved on, so there is nothing (and no way) to harvest.
       std::vector<Request> stranded;
       if (!r.evacuated) stranded = r.server->harvest_stranded();
-      events.push_back({ClusterEvent::Kind::kFailureDetected, det_t, det_i,
-                        "heartbeat stale; " + std::to_string(stranded.size()) +
-                            " stranded request(s) queued for retry"});
+      if (log) {
+        events.push_back({ClusterEvent::Kind::kFailureDetected, det_t, det_i,
+                          "heartbeat stale; " + std::to_string(stranded.size()) +
+                              " stranded request(s) queued for retry"});
+      }
       const bool resume = cfg_.cache.enabled && cfg_.cache.survive_failstop;
       for (Request rq : stranded) {
         ++rq.attempt;
@@ -224,7 +462,7 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
     }
 
     if (tick_t <= item_t) {
-      advance_all(tick_t);
+      advance(tick_t);
       AutoscaleSignals sig;
       sig.now = tick_t;
       std::vector<double> waits_ms;
@@ -250,15 +488,18 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
       // Drain phase (no arrivals or retries left): scaling up is pure waste
       // -- no dispatch will ever reach the new replica -- so only honor the
       // downward direction of the policy's answer.
-      if (pending.empty()) target = std::min(target, capacity);
+      if (!has_item()) target = std::min(target, capacity);
       while (capacity < target) {
         ReplicaSpec spec = growth_;
         spec.seed = next_seed_++;
         const std::size_t idx = replicas_.size();
         add_replica(spec, tick_t, tick_t + cfg_.warmup);
-        events.push_back({ClusterEvent::Kind::kScaleUp, tick_t, idx,
-                          "spawned " + replicas_.back().name + ", ready at " +
-                              (tick_t + cfg_.warmup).str()});
+        eligible_add(idx, tick_t);
+        if (log) {
+          events.push_back({ClusterEvent::Kind::kScaleUp, tick_t, idx,
+                            "spawned " + replicas_.back().name + ", ready at " +
+                                (tick_t + cfg_.warmup).str()});
+        }
         ++capacity;
       }
       while (capacity > target && capacity > 1) {
@@ -276,6 +517,7 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
         }
         replicas_[victim].retired = true;
         replicas_[victim].retired_at = tick_t;
+        eligible_remove(victim);
         // A victim that silently fail-stopped inside the detection lag
         // cannot be evacuated -- its state died with it. Retire it plainly;
         // the heartbeat monitor will harvest its stranded work.
@@ -287,6 +529,7 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
           // no resident state re-dispatch at the tick itself.
           std::vector<Request> moved = replicas_[victim].server->evacuate();
           replicas_[victim].evacuated = true;
+          push_calendar(victim);  // evacuation mutated the server (to no events)
           const Duration boundary = monde::max(tick_t, replicas_[victim].server->now());
           for (Request rq : moved) {
             ++rq.attempt;
@@ -295,11 +538,13 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
                 resident > 0 ? boundary + cfg_.cache.transfer_time_for(resident) : tick_t;
             pending.push(Item{at, rq, true});
           }
-          std::string detail = "retired " + replicas_[victim].name + " (migrated ";
-          detail += std::to_string(moved.size());
-          detail += " request(s))";
-          events.push_back({ClusterEvent::Kind::kScaleDown, tick_t, victim, detail});
-        } else {
+          if (log) {
+            std::string detail = "retired " + replicas_[victim].name + " (migrated ";
+            detail += std::to_string(moved.size());
+            detail += " request(s))";
+            events.push_back({ClusterEvent::Kind::kScaleDown, tick_t, victim, detail});
+          }
+        } else if (log) {
           events.push_back({ClusterEvent::Kind::kScaleDown, tick_t, victim,
                             "retired " + replicas_[victim].name + " (" +
                                 std::to_string(replicas_[victim].server->in_flight()) +
@@ -312,39 +557,58 @@ ClusterReport ClusterSim::run(std::vector<Request> trace, Dispatcher& dispatcher
       continue;
     }
 
-    if (pending.empty()) break;
-    const Item it = pending.top();
-    pending.pop();
-    advance_all(it.time);
-    // The stale-heartbeat cut is belt-and-braces here: detection events at
-    // or before `it.time` were processed first, so a replica whose age
-    // crossed the timeout is already non-accepting -- but the filter makes
-    // the snapshot's heartbeat age authoritative for custom policies too.
-    const std::vector<ReplicaSnapshot> eligible =
-        eligible_snapshots(snapshots(it.time), cfg_.health.slow_ewma_factor,
-                           cfg_.health.heartbeat_timeout.ms());
-    const std::size_t pick = dispatcher.pick(eligible);
-    MONDE_REQUIRE(pick < eligible.size(),
-                  "dispatcher picked entry " << pick << " of " << eligible.size());
-    const std::size_t idx = eligible[pick].replica;
+    if (!has_item()) break;
+    const Item it = pop_item();
+    advance(it.time);
+    std::size_t idx;  // the chosen replica
+    if (incremental_eligible) {
+      // Fast path: the maintained index IS the eligible list. Detections at
+      // or before `it.time` were processed first, and a healthy heartbeat
+      // age never exceeds one interval, so the stale cut the reference
+      // filter applies provably keeps exactly the accepting set.
+      refresh_time_sensitive(it.time);
+      MONDE_REQUIRE(!eligible.empty(),
+                    "no replica is accepting requests (every replica failed or retired)");
+      const std::size_t pick = dispatcher.pick(eligible);
+      MONDE_REQUIRE(pick < eligible.size(),
+                    "dispatcher picked entry " << pick << " of " << eligible.size());
+      idx = eligible[pick].replica;
+    } else {
+      // The stale-heartbeat cut is belt-and-braces here: detection events at
+      // or before `it.time` were processed first, so a replica whose age
+      // crossed the timeout is already non-accepting -- but the filter makes
+      // the snapshot's heartbeat age authoritative for custom policies too.
+      const std::vector<ReplicaSnapshot> elig =
+          eligible_snapshots(snapshots(it.time), cfg_.health.slow_ewma_factor,
+                             cfg_.health.heartbeat_timeout.ms());
+      const std::size_t pick = dispatcher.pick(elig);
+      MONDE_REQUIRE(pick < elig.size(),
+                    "dispatcher picked entry " << pick << " of " << elig.size());
+      idx = elig[pick].replica;
+    }
     Request rq = it.rq;
     rq.arrival = it.time;  // = the original arrival except for re-dispatches
     replicas_[idx].server->enqueue(rq);
     ++replicas_[idx].dispatched;
+    write_through(idx);
+    push_calendar(idx);
     if (rq.attempt > 0) {
-      std::string detail = "request " + std::to_string(rq.id) + " attempt " +
-                           std::to_string(rq.attempt) + " -> replica" + std::to_string(idx);
-      if (rq.resume.any()) {
-        detail += " (resumed ";
-        detail += std::to_string(rq.resume.resident_tokens());
-        detail += " tokens)";
+      if (log) {
+        std::string detail = "request " + std::to_string(rq.id) + " attempt " +
+                             std::to_string(rq.attempt) + " -> replica" + std::to_string(idx);
+        if (rq.resume.any()) {
+          detail += " (resumed ";
+          detail += std::to_string(rq.resume.resident_tokens());
+          detail += " tokens)";
+        }
+        events.push_back({it.migrated ? ClusterEvent::Kind::kMigrate
+                                      : ClusterEvent::Kind::kRetry,
+                          it.time, idx, detail});
       }
       if (it.migrated) {
         ++migrations;
-        events.push_back({ClusterEvent::Kind::kMigrate, it.time, idx, detail});
       } else {
         ++retries;
-        events.push_back({ClusterEvent::Kind::kRetry, it.time, idx, detail});
       }
     }
   }

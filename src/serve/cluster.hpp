@@ -45,6 +45,27 @@
 // to exactly the classic dispatch loop -- pinned bit-identical by
 // tests/test_cluster.cpp.
 //
+// Scale (PR 6): run() is driven by an indexed event calendar -- a
+// lazy-deletion min-heap over per-replica server events (keyed (time,
+// replica), entries tagged with ServerSim::version() and discarded when the
+// version moved on) merged with the arrival stream, the retry/migration
+// queue, sorted fail-stop/detection cursors, and the autoscale tick -- so
+// each cluster event advances only the replicas that actually have work
+// before it, instead of scanning the whole fleet. Dispatch likewise reads an
+// incrementally maintained index of accepting-replica snapshots (updated
+// only when a replica's server mutates) rather than rebuilding every
+// snapshot per request. Arrivals may be consumed lazily from an
+// ArrivalStream (arrivals.hpp), so a million-request trace is never
+// materialized. The calendar loop is proven bit-identical to the classic
+// scan-everything loop (ClusterConfig::reference_loop, kept for diff
+// tests); one caveat: in the fast path the time-varying snapshot fields
+// (heartbeat_age_ms, and warming once a replica is warm) are refreshed only
+// for replicas where they can change eligibility or behavior -- the stock
+// policies never read them, and eligibility is provably unaffected, but a
+// custom Dispatcher needing exact per-dispatch heartbeat ages for healthy
+// replicas should set reference_loop (or a finite slow_ewma_factor, whose
+// median cutoff forces full rebuilds anyway).
+//
 // The report carries per-replica ServeReports and fleet-wide aggregates:
 // latency percentiles over the union of all requests (re-based to original
 // arrivals), total tokens/s over the fleet makespan, alive-time-weighted
@@ -64,6 +85,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "serve/arrivals.hpp"
 #include "serve/autoscale.hpp"
 #include "serve/dispatch.hpp"
 #include "serve/server.hpp"
@@ -112,6 +134,18 @@ struct ClusterConfig {
   /// replica's unfinished requests -- both priced at the configured
   /// transfer cost per resident token.
   PrefixCacheConfig cache;
+  /// Record the scaling/failure timeline (ClusterReport::events), detail
+  /// strings included. Off, events are not built at all -- the counters
+  /// (retries, migrations, peak_replicas) and every other report field are
+  /// unaffected -- which large sweeps (bench/serve_scale) want: the detail
+  /// strings are pure allocation cost when nobody reads them.
+  bool event_log_enabled = true;
+  /// Run the classic O(replicas)-per-event loop instead of the indexed
+  /// event calendar. The two are bit-identical (pinned by
+  /// tests/test_calendar_diff.cpp); the reference loop exists for those diff
+  /// tests and for custom dispatchers that want exact time-varying snapshot
+  /// fields (see the file comment).
+  bool reference_loop = false;
 
   void validate() const;
 };
@@ -201,6 +235,14 @@ class ClusterSim {
   /// pressure. Call once. Throws if every replica fails or retires while
   /// requests remain.
   [[nodiscard]] ClusterReport run(std::vector<Request> trace, Dispatcher& dispatcher,
+                                  Autoscaler* autoscaler = nullptr);
+
+  /// Streaming variant: consume requests lazily from `arrivals` (must yield
+  /// them in (arrival, id) order with unique ids) so the trace is never
+  /// materialized -- O(1) arrival memory regardless of trace length. For the
+  /// same requests this is bit-identical to the vector overload (which is
+  /// now a thin adapter over it).
+  [[nodiscard]] ClusterReport run(ArrivalStream& arrivals, Dispatcher& dispatcher,
                                   Autoscaler* autoscaler = nullptr);
 
  private:

@@ -27,6 +27,17 @@
 // replica healthy the filter is the identity, so fault-free dispatch is
 // bit-identical to the pre-health behavior.
 //
+// Snapshot maintenance: by default the cluster maintains the eligible list
+// incrementally -- one snapshot per accepting replica, load fields written
+// through when that replica's server mutates, membership adjusted on spawn/
+// detection/retirement -- so a dispatch costs O(changed replicas), not
+// O(fleet). The load fields (in_flight, outstanding_tokens) and membership
+// are exact; the purely time-varying fields (heartbeat_age_ms, warming) are
+// refreshed per dispatch only for replicas where they can still move
+// (cold-starting or undetected-fail-stop ones). A custom policy that reads
+// exact heartbeat ages of healthy replicas should run the cluster with
+// ClusterConfig::reference_loop (see cluster.hpp).
+//
 // Units: `outstanding_tokens` counts tokens, `heartbeat_age_ms` and
 // `step_ewma_ms` are simulated milliseconds. Snapshots are plain values --
 // policies never touch a server and are unit-testable without an engine.

@@ -1,5 +1,7 @@
 #include "serve/server.hpp"
 
+#include <tuple>
+
 namespace monde::serve {
 
 ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg, Duration start_at,
@@ -30,10 +32,19 @@ ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg, Duratio
 void ServerSim::enqueue(const Request& rq) {
   MONDE_REQUIRE(!harvested_, "enqueue() on a harvested or evacuated server");
   sched_.push(rq);
+  touch();
 }
 
 void ServerSim::advance_to(Duration t) {
   if (failed_) return;  // frozen at the fail-stop instant forever
+  // Mutation detection for version(): everything next_event_time() and the
+  // dispatch-facing load accessors read, snapshotted before the loop.
+  const auto observable = [this] {
+    return std::tuple{st_.now,          steps_.size(),    completion_pending_,
+                      failed_,          sched_.queued_count(), sched_.in_flight(),
+                      sched_.next_arrival()};
+  };
+  const auto before = observable();
   // Death occurs the moment simulated time reaches fail_at: no step starts
   // at or after it, which the strict-before loop below gives us by clamping.
   const bool dies = fault_.fail_stop() && t >= fault_.fail_at;
@@ -58,21 +69,26 @@ void ServerSim::advance_to(Duration t) {
     step(newly);
   }
   if (dies) fail_now();
+  if (observable() != before) touch();
 }
 
 Duration ServerSim::next_event_time() const {
-  if (failed_) return Duration::infinite();
-  if (sched_.step_ready()) return st_.now;
+  if (next_event_valid_) return next_event_cache_;
+  next_event_valid_ = true;
+  if (failed_) return next_event_cache_ = Duration::infinite();
+  if (sched_.step_ready()) return next_event_cache_ = st_.now;
   // An arrival already at or before the clock (a cold-starting replica
   // buffers those) becomes runnable the moment the clock can move: the
   // event time is the clock itself, never the past.
-  return monde::max(st_.now, sched_.next_arrival());
+  return next_event_cache_ = monde::max(st_.now, sched_.next_arrival());
 }
 
 void ServerSim::drain() {
   sched_.seal();
+  touch();  // seal() may unblock a fixed-mode batch-fill wait
   advance_to(Duration::infinite());
   apply_pending_completion();
+  touch();
   MONDE_ASSERT(sched_.drained(),
                (failed_ ? "drain() on a failed server with unharvested stranded requests"
                         : "drain() left requests unserved"));
@@ -100,6 +116,7 @@ std::vector<Request> ServerSim::harvest_stranded() {
   harvested_ = true;
   std::vector<Request> stranded = sched_.abort_unfinished();
   cache_.drop_pinned();
+  touch();
   return stranded;
 }
 
@@ -120,6 +137,7 @@ std::vector<Request> ServerSim::evacuate() {
   apply_pending_completion();
   std::vector<Request> moved = sched_.abort_unfinished();
   cache_.drop_pinned();
+  touch();
   return moved;
 }
 
@@ -225,6 +243,7 @@ ServeReport ServerSim::report() const {
 
 ServeReport ServerSim::run(std::vector<Request> trace) {
   sched_.submit(std::move(trace));  // rejects a used server or an empty trace
+  touch();
   drain();
   return report();
 }

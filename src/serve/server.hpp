@@ -169,8 +169,17 @@ class ServerSim {
   /// else the next queued arrival, else infinite -- the server then waits
   /// on enqueue()/drain() (e.g. a fixed-mode batch still filling). Because
   /// advance_to() is strict-before, pass a time strictly greater than this
-  /// to run the work.
+  /// to run the work. Cached: recomputed only after a mutation (see
+  /// version()), so a cluster driver may poll it freely.
   [[nodiscard]] Duration next_event_time() const;
+
+  /// Monotone mutation counter: bumped whenever the server's observable
+  /// state changes (an enqueue, steps run by advance_to(), a fail-stop,
+  /// drain(), harvest, evacuation). While version() is unchanged,
+  /// next_event_time() is unchanged too -- the contract the cluster's event
+  /// calendar relies on to detect stale entries without re-polling (lazy
+  /// deletion: an entry tagged with an older version is dead).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
 
   /// No further enqueue(): finish every request still in the system. On an
   /// empty queue this is a harmless no-op (the server reports zero
@@ -249,6 +258,12 @@ class ServerSim {
   /// landed in time, discard one that did not, clamp the clock.
   void fail_now();
 
+  /// Record a mutation: bump version_ and drop the next_event_time() cache.
+  void touch() {
+    ++version_;
+    next_event_valid_ = false;
+  }
+
   core::InferenceEngine& engine_;
   SchedulerConfig cfg_;
   ContinuousBatchScheduler sched_;
@@ -266,6 +281,9 @@ class ServerSim {
   Duration pending_end_ = Duration::zero();
   bool failed_ = false;     ///< fail-stop instant reached; frozen forever
   bool harvested_ = false;  ///< stranded requests already handed back
+  std::uint64_t version_ = 0;  ///< observable-mutation counter (see version())
+  mutable bool next_event_valid_ = false;      ///< cache flag for next_event_time()
+  mutable Duration next_event_cache_ = Duration::zero();
 };
 
 }  // namespace monde::serve

@@ -1,0 +1,318 @@
+// Refactor-seam pinning for the indexed event calendar (PR 6): the
+// calendar-driven ClusterSim::run loop must be bit-identical to the classic
+// scan-everything loop (ClusterConfig::reference_loop) on the same seeds,
+// across every behavior the cluster models -- plain dispatch, failure
+// injection + retry, autoscaling, and KV-cache recovery/migration. Also
+// covers the event-log gating satellite (metrics identical with the log
+// off) and the ServerSim version counter the calendar's lazy deletion
+// trusts.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/cluster.hpp"
+
+namespace monde::serve {
+namespace {
+
+/// A small MoE model that keeps cycle-level simulations fast.
+moe::MoeModelConfig tiny_model() {
+  moe::MoeModelConfig m = moe::MoeModelConfig::switch_variant(512, 16);
+  m.encoder_blocks = 4;
+  m.decoder_blocks = 4;
+  m.moe_every = 2;
+  m.vocab_size = 8192;
+  m.top_k = 2;
+  m.name = "tiny-test-model";
+  return m;
+}
+
+RequestShape small_shape() {
+  RequestShape s;
+  s.prompt_min = 16;
+  s.prompt_max = 48;
+  s.new_tokens_min = 2;
+  s.new_tokens_max = 8;
+  return s;
+}
+
+/// Every field of two ClusterReports, compared exactly. Duration carries an
+/// exact (defaulted) comparison, so == here really is bit-identity.
+void expect_reports_identical(const ClusterReport& a, const ClusterReport& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.autoscaler, b.autoscaler);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    const RequestMetrics& x = a.requests[i];
+    const RequestMetrics& y = b.requests[i];
+    EXPECT_EQ(x.id, y.id) << "request " << i;
+    EXPECT_EQ(x.attempt, y.attempt) << "request " << x.id;
+    EXPECT_EQ(x.generated, y.generated) << "request " << x.id;
+    EXPECT_EQ(x.saved_tokens, y.saved_tokens) << "request " << x.id;
+    EXPECT_EQ(x.resumed_tokens, y.resumed_tokens) << "request " << x.id;
+    EXPECT_EQ(x.arrival, y.arrival) << "request " << x.id;
+    EXPECT_EQ(x.admitted, y.admitted) << "request " << x.id;
+    EXPECT_EQ(x.first_token, y.first_token) << "request " << x.id;
+    EXPECT_EQ(x.completion, y.completion) << "request " << x.id;
+  }
+  ASSERT_EQ(a.replicas.size(), b.replicas.size());
+  for (std::size_t i = 0; i < a.replicas.size(); ++i) {
+    const ReplicaReport& x = a.replicas[i];
+    const ReplicaReport& y = b.replicas[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.dispatched, y.dispatched) << x.name;
+    EXPECT_EQ(x.spawned_at, y.spawned_at) << x.name;
+    EXPECT_EQ(x.alive_until, y.alive_until) << x.name;
+    EXPECT_EQ(x.utilization, y.utilization) << x.name;
+    EXPECT_EQ(x.failed, y.failed) << x.name;
+    EXPECT_EQ(x.retired, y.retired) << x.name;
+    EXPECT_EQ(x.serve.makespan, y.serve.makespan) << x.name;
+    EXPECT_EQ(x.serve.busy, y.serve.busy) << x.name;
+    EXPECT_EQ(x.serve.generated_tokens, y.serve.generated_tokens) << x.name;
+    EXPECT_EQ(x.serve.steps.size(), y.serve.steps.size()) << x.name;
+    EXPECT_EQ(x.serve.cache.saved_tokens, y.serve.cache.saved_tokens) << x.name;
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.generated_tokens, b.generated_tokens);
+  EXPECT_EQ(a.tokens_per_s, b.tokens_per_s);
+  EXPECT_EQ(a.ttft_ms.p50, b.ttft_ms.p50);
+  EXPECT_EQ(a.ttft_ms.p95, b.ttft_ms.p95);
+  EXPECT_EQ(a.ttft_ms.p99, b.ttft_ms.p99);
+  EXPECT_EQ(a.tpot_ms.p50, b.tpot_ms.p50);
+  EXPECT_EQ(a.e2e_ms.p50, b.e2e_ms.p50);
+  EXPECT_EQ(a.e2e_ms.p95, b.e2e_ms.p95);
+  EXPECT_EQ(a.e2e_ms.p99, b.e2e_ms.p99);
+  EXPECT_EQ(a.imbalance, b.imbalance);
+  EXPECT_EQ(a.fleet_utilization, b.fleet_utilization);
+  EXPECT_EQ(a.replica_seconds, b.replica_seconds);
+  EXPECT_EQ(a.peak_replicas, b.peak_replicas);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.cached_prefill_tokens, b.cached_prefill_tokens);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind) << "event " << i;
+    EXPECT_EQ(a.events[i].time, b.events[i].time) << "event " << i;
+    EXPECT_EQ(a.events[i].replica, b.events[i].replica) << "event " << i;
+    EXPECT_EQ(a.events[i].detail, b.events[i].detail) << "event " << i;
+  }
+}
+
+/// Run one scenario twice -- calendar loop vs reference loop -- with fresh
+/// (stateful) dispatchers/autoscalers, and demand bit-identical reports.
+struct Scenario {
+  std::vector<Request> trace;
+  std::vector<ReplicaSpec> specs;
+  ClusterConfig cfg;
+  DispatchPolicy policy = DispatchPolicy::kJoinShortestQueue;
+  std::uint64_t dispatch_seed = 7;
+  AutoscaleConfig autoscale;
+  bool autoscaled = false;
+};
+
+ClusterReport run_scenario(const Scenario& sc, bool reference_loop) {
+  ClusterConfig cfg = sc.cfg;
+  cfg.reference_loop = reference_loop;
+  ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
+                     sc.specs, cfg};
+  const auto dispatcher = make_dispatcher(sc.policy, sc.dispatch_seed);
+  if (!sc.autoscaled) return cluster.run(sc.trace, *dispatcher);
+  const auto autoscaler = make_queue_pressure_autoscaler(sc.autoscale);
+  return cluster.run(sc.trace, *dispatcher, autoscaler.get());
+}
+
+void expect_loops_agree(const Scenario& sc) {
+  expect_reports_identical(run_scenario(sc, /*reference_loop=*/false),
+                           run_scenario(sc, /*reference_loop=*/true));
+}
+
+TEST(CalendarDiff, PlainFleetAllPolicies) {
+  for (const DispatchPolicy policy : all_dispatch_policies()) {
+    Scenario sc;
+    sc.trace = poisson_trace(24, 90.0, small_shape(), 21);
+    sc.specs = uniform_fleet(4, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+    sc.policy = policy;
+    expect_loops_agree(sc);
+  }
+}
+
+TEST(CalendarDiff, FaultInjectionWithRetries) {
+  Scenario sc;
+  sc.trace = bursty_trace(24, 6, Duration::millis(25), small_shape(), 13);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[1].fault.fail_at = Duration::millis(30);  // dies mid-trace, strands work
+  sc.specs[2].fault.slow_from = Duration::millis(10);  // and a degraded peer
+  sc.specs[2].fault.slow_until = Duration::millis(60);
+  sc.specs[2].fault.slow_factor = 3.0;
+  sc.cfg.retry_timeout = Duration::millis(2);
+  expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, TwoFailStopsCascade) {
+  // Both replicas die; retries land on autoscaled replacement capacity --
+  // exercises the fail cursor, detection cursor, and spawn path together.
+  Scenario sc;
+  sc.trace = poisson_trace(16, 120.0, small_shape(), 5);
+  sc.specs = uniform_fleet(2, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[0].fault.fail_at = Duration::millis(2);
+  sc.specs[1].fault.fail_at = Duration::millis(8);
+  sc.cfg.retry_timeout = Duration::millis(2);
+  sc.cfg.warmup = Duration::millis(1);
+  sc.autoscaled = true;
+  sc.autoscale.min_replicas = 1;
+  sc.autoscale.max_replicas = 4;
+  sc.autoscale.high_tokens_per_replica = 1;  // spawn eagerly: capacity must
+  sc.autoscale.low_tokens_per_replica = 0;   // always exist for the retries
+  expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, AutoscaleUpAndDown) {
+  Scenario sc;
+  sc.trace = bursty_trace(36, 12, Duration::millis(40), small_shape(), 29);
+  sc.specs = uniform_fleet(2, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.cfg.warmup = Duration::millis(3);
+  sc.cfg.autoscale_period = Duration::millis(2);
+  sc.policy = DispatchPolicy::kPowerOfTwoChoices;
+  sc.dispatch_seed = 11;
+  sc.autoscaled = true;
+  sc.autoscale.min_replicas = 1;
+  sc.autoscale.max_replicas = 6;
+  sc.autoscale.high_tokens_per_replica = 96;  // bursts force spawns...
+  sc.autoscale.low_tokens_per_replica = 8;    // ...idle gaps force retirements
+  expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, PrefixCacheSurvivalAndMigration) {
+  RequestShape shape = small_shape();
+  shape.prefix_groups = 2;  // shared prefixes feed the caches
+  shape.shared_fraction = 0.75;
+  shape.shared_prefix_len = 12;
+  Scenario sc;
+  sc.trace = poisson_trace(28, 100.0, shape, 17);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[0].fault.fail_at = Duration::millis(25);  // retries resume from checkpoints
+  sc.cfg.retry_timeout = Duration::millis(2);
+  sc.cfg.cache.enabled = true;
+  sc.cfg.cache.capacity_tokens = 4096;
+  sc.cfg.cache.survive_failstop = true;
+  sc.cfg.cache.migrate_on_retire = true;  // retirements live-migrate
+  sc.cfg.warmup = Duration::millis(2);
+  sc.cfg.autoscale_period = Duration::millis(4);
+  sc.autoscaled = true;
+  sc.autoscale.min_replicas = 1;
+  sc.autoscale.max_replicas = 4;
+  sc.autoscale.high_tokens_per_replica = 1 << 20;
+  sc.autoscale.low_tokens_per_replica = 1 << 19;  // always prefer shrinking
+  expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, SlowEwmaFilterFallsBackToExactSnapshots) {
+  // A finite slow_ewma_factor needs fleet-median EWMAs per dispatch, so the
+  // calendar loop routes dispatch through full snapshot rebuilds -- still
+  // bit-identical to the reference loop.
+  Scenario sc;
+  sc.trace = poisson_trace(20, 80.0, small_shape(), 33);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[2].fault.slow_from = Duration::zero();
+  sc.specs[2].fault.slow_until = Duration::seconds(1);
+  sc.specs[2].fault.slow_factor = 8.0;
+  sc.cfg.health.slow_ewma_factor = 2.0;
+  expect_loops_agree(sc);
+}
+
+// --- Event-log gating (the perf-bugfix satellite) ---------------------------
+
+TEST(CalendarDiff, EventLogOffLeavesMetricsIdentical) {
+  Scenario sc;
+  sc.trace = bursty_trace(24, 6, Duration::millis(25), small_shape(), 13);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[1].fault.fail_at = Duration::millis(30);
+  sc.cfg.retry_timeout = Duration::millis(2);
+  sc.cfg.warmup = Duration::millis(2);
+  sc.autoscaled = true;
+  sc.autoscale.min_replicas = 1;
+  sc.autoscale.max_replicas = 4;
+  sc.autoscale.high_tokens_per_replica = 96;
+  sc.autoscale.low_tokens_per_replica = 8;
+
+  const ClusterReport logged = run_scenario(sc, /*reference_loop=*/false);
+  Scenario muted = sc;
+  muted.cfg.event_log_enabled = false;
+  const ClusterReport quiet = run_scenario(muted, /*reference_loop=*/false);
+
+  EXPECT_GT(logged.events.size(), 0u);  // the scenario actually logs things
+  EXPECT_TRUE(quiet.events.empty());
+  EXPECT_EQ(logged.retries, quiet.retries);        // counters survive the gate
+  EXPECT_EQ(logged.migrations, quiet.migrations);
+  EXPECT_EQ(logged.peak_replicas, quiet.peak_replicas);
+  // Everything except the log itself is identical.
+  ClusterReport a = logged;
+  ClusterReport b = quiet;
+  a.events.clear();
+  b.events.clear();
+  expect_reports_identical(a, b);
+}
+
+// --- ServerSim version counter (what lazy deletion trusts) ------------------
+
+TEST(ServerVersion, BumpsOnMutationOnlyAndGuardsNextEvent) {
+  auto engine = core::InferenceEngine{core::SystemConfig::dac24(), tiny_model(),
+                                      moe::SkewProfile::switch_like(),
+                                      core::StrategyKind::kMondeLoadBalanced, 42};
+  ServerSim server{engine, SchedulerConfig{}};
+  const std::uint64_t v0 = server.version();
+  EXPECT_EQ(server.next_event_time(), Duration::infinite());
+  EXPECT_EQ(server.version(), v0);  // polling is not a mutation
+
+  Request rq;
+  rq.id = 0;
+  rq.arrival = Duration::millis(1);
+  rq.prompt_len = 16;
+  rq.max_new_tokens = 4;
+  server.enqueue(rq);
+  const std::uint64_t v1 = server.version();
+  EXPECT_GT(v1, v0);  // an enqueue is
+  EXPECT_EQ(server.next_event_time(), Duration::millis(1));
+
+  server.advance_to(Duration::millis(1));  // strict-before: a no-op
+  EXPECT_EQ(server.version(), v1);
+  EXPECT_EQ(server.next_event_time(), Duration::millis(1));
+
+  server.advance_to(Duration::millis(2));  // runs at least the first step
+  const std::uint64_t v2 = server.version();
+  EXPECT_GT(v2, v1);
+  // The cached next event matches a fresh computation and survives polling.
+  const Duration next = server.next_event_time();
+  EXPECT_EQ(server.next_event_time(), next);
+  EXPECT_EQ(server.version(), v2);
+
+  server.drain();
+  EXPECT_GT(server.version(), v2);
+  EXPECT_EQ(server.next_event_time(), Duration::infinite());
+}
+
+TEST(ServerVersion, FailStopBumpsAndPinsInfiniteNextEvent) {
+  auto engine = core::InferenceEngine{core::SystemConfig::dac24(), tiny_model(),
+                                      moe::SkewProfile::switch_like(),
+                                      core::StrategyKind::kMondeLoadBalanced, 42};
+  FaultSpec fault;
+  fault.fail_at = Duration::millis(5);
+  ServerSim server{engine, SchedulerConfig{}, Duration::zero(), fault};
+  Request rq;
+  rq.id = 0;
+  rq.arrival = Duration::zero();
+  rq.prompt_len = 16;
+  rq.max_new_tokens = 64;  // long enough to still be running at the death
+  server.enqueue(rq);
+  const std::uint64_t armed = server.version();
+  server.advance_to(Duration::millis(10));  // crosses fail_at: the server dies
+  EXPECT_TRUE(server.failed());
+  EXPECT_GT(server.version(), armed);
+  EXPECT_EQ(server.next_event_time(), Duration::infinite());
+  const std::uint64_t dead = server.version();
+  (void)server.harvest_stranded();
+  EXPECT_GT(server.version(), dead);  // harvest mutates too
+}
+
+}  // namespace
+}  // namespace monde::serve
