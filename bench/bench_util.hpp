@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -23,9 +24,19 @@ namespace monde::bench {
 ///   [--json <path>]    also emit deterministic metrics as JSON (the bench
 ///                      regression gate: scripts/check_bench_budget.py
 ///                      compares them against bench/budgets.json)
+///   [--threads <n>]    worker threads for the cluster benches' parallel
+///                      advancement phase (ClusterConfig::threads). Results
+///                      are bit-identical across thread counts -- the 132
+///                      pinned budget metrics never move -- only wall-clock
+///                      does. Default 1.
+///   [--perf <path>]    write a wall-clock record as JSON for the perf-trend
+///                      gate (scripts/check_perf_trend.py). Measured time,
+///                      NOT deterministic -- kept separate from --json.
 struct BenchArgs {
   bool smoke = false;
   std::string json_path;  ///< empty = no JSON output
+  std::string perf_path;  ///< empty = no wall-clock perf record
+  std::size_t threads = 1;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -37,12 +48,48 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
     } else if (arg == "--json") {
       MONDE_REQUIRE(i + 1 < argc, "--json needs a <path> argument");
       args.json_path = argv[++i];
+    } else if (arg == "--perf") {
+      MONDE_REQUIRE(i + 1 < argc, "--perf needs a <path> argument");
+      args.perf_path = argv[++i];
+    } else if (arg == "--threads") {
+      MONDE_REQUIRE(i + 1 < argc, "--threads needs a count argument");
+      const std::string value{argv[++i]};
+      std::size_t pos = 0;
+      unsigned long n = 0;
+      try {
+        n = std::stoul(value, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      MONDE_REQUIRE(pos == value.size() && n >= 1,
+                    "--threads needs a positive integer, got '" << value << "'");
+      args.threads = static_cast<std::size_t>(n);
     } else {
-      MONDE_REQUIRE(false, "unknown bench argument '" << arg
-                                                      << "' (expected --smoke / --json <path>)");
+      MONDE_REQUIRE(false, "unknown bench argument '"
+                               << arg
+                               << "' (expected --smoke / --json <path> / --perf <path> / "
+                                  "--threads <n>)");
     }
   }
   return args;
+}
+
+/// One wall-clock measurement for the perf-trend gate. Unlike BenchMetrics
+/// this is MEASURED time and varies run to run, so it lives in its own file
+/// that the budget gate never reads; scripts/check_perf_trend.py appends it
+/// (dated) to the retained perf history and gates the trend. No-op when
+/// `path` is empty (no --perf given).
+inline void write_perf_record(const std::string& path, const std::string& bench,
+                              std::size_t threads, double wall_s) {
+  if (path.empty()) return;
+  std::ofstream out{path};
+  MONDE_REQUIRE(out.good(), "cannot open --perf path '" << path << "' for writing");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", wall_s);
+  out << "{\"bench\": \"" << bench << "\", \"threads\": " << threads << ", \"wall_s\": " << buf
+      << "}\n";
+  MONDE_REQUIRE(out.good(), "failed writing --perf output to '" << path << "'");
+  std::printf("wrote perf record to %s\n", path.c_str());
 }
 
 /// Deterministic simulated-metric sink for the bench regression gate: flat

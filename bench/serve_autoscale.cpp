@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
 
   serve::ClusterConfig ccfg;
   ccfg.autoscale_period = Duration::millis(smoke ? 4.0 : 5.0);
+  ccfg.threads = args.threads;  // bit-identical results; only wall-clock moves
 
   serve::AutoscaleConfig as;
   as.min_replicas = 1;

@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
   serve::SchedulerConfig cfg;
   cfg.token_budget = smoke ? 128 : 256;
 
+  serve::ClusterConfig ccfg;
+  ccfg.threads = args.threads;  // bit-identical results; only wall-clock moves
+
   struct TraceCase {
     std::string name;
     std::vector<serve::Request> trace;
@@ -71,7 +74,7 @@ int main(int argc, char** argv) {
       for (const serve::DispatchPolicy policy : serve::all_dispatch_policies()) {
         serve::ClusterSim cluster{
             sys, model, prof,
-            serve::uniform_fleet(n, core::StrategyKind::kMondeLoadBalanced, cfg)};
+            serve::uniform_fleet(n, core::StrategyKind::kMondeLoadBalanced, cfg), ccfg};
         const auto dispatcher = serve::make_dispatcher(policy, /*seed=*/17);
         const serve::ClusterReport rep = cluster.run(tc.trace, *dispatcher);
         table.add_row({std::to_string(n), rep.policy, Table::num(rep.tokens_per_s, 1),
@@ -106,7 +109,7 @@ int main(int argc, char** argv) {
     Table table{{"policy", "tok/s", "TTFT p50 (ms)", "TTFT p95 (ms)", "E2E p95 (ms)",
                  "weak-replica share", "imbalance"}};
     for (const serve::DispatchPolicy policy : serve::all_dispatch_policies()) {
-      serve::ClusterSim cluster{sys, model, prof, specs};
+      serve::ClusterSim cluster{sys, model, prof, specs, ccfg};
       const auto dispatcher = serve::make_dispatcher(policy, /*seed=*/17);
       const serve::ClusterReport rep = cluster.run(hetero_trace, *dispatcher);
       const double share = static_cast<double>(rep.replicas.back().dispatched) /

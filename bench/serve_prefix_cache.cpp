@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
       serve::ClusterConfig ccfg;
       ccfg.cache = cache;
       ccfg.cache.enabled = enabled;
+      ccfg.threads = args.threads;
       serve::ClusterSim cluster{
           sys, model, prof,
           serve::uniform_fleet(2, core::StrategyKind::kMondeLoadBalanced, sched), ccfg};
@@ -129,6 +130,7 @@ int main(int argc, char** argv) {
       ccfg.cache = cache;
       ccfg.cache.enabled = mode.enabled;
       ccfg.cache.survive_failstop = mode.survive;
+      ccfg.threads = args.threads;
       auto specs = serve::uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, sched);
       // Mid-trace, while a real backlog is in flight, so the stranded
       // requests are what the p99 tail measures.
@@ -168,6 +170,7 @@ int main(int argc, char** argv) {
       ccfg.autoscale_period = Duration::millis(2.0);
       ccfg.cache = cache;
       ccfg.cache.migrate_on_retire = migrate;
+      ccfg.threads = args.threads;
       serve::ClusterSim cluster{
           sys, model, prof,
           serve::uniform_fleet(2, core::StrategyKind::kMondeLoadBalanced, sched), ccfg};

@@ -14,6 +14,10 @@
 //   ./bench/serve_scale --smoke            512 replicas, 50k requests (CI)
 //   ./bench/serve_scale                    10k replicas, 1M requests (nightly)
 //   ./bench/serve_scale --smoke --json f   + deterministic metrics
+//   ./bench/serve_scale --threads 8        parallel advancement (bit-identical
+//                                          results; only wall-clock moves)
+//   ./bench/serve_scale --perf p.json      wall-clock record for the
+//                                          perf-trend gate (check_perf_trend.py)
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -96,6 +100,7 @@ int main(int argc, char** argv) {
 
   serve::ClusterConfig ccfg;
   ccfg.event_log_enabled = false;  // nobody reads 1M requests' worth of detail strings
+  ccfg.threads = args.threads;     // bit-identical results; only wall-clock moves
 
   {
     serve::ClusterSim cluster{
@@ -108,8 +113,8 @@ int main(int argc, char** argv) {
     const serve::ClusterReport rep = cluster.run(*stream, *dispatcher);
     const double wall = wall_seconds(t0);
 
-    std::printf("%zu replicas, %d requests (Poisson %.0f req/s fleet-wide):\n", replicas,
-                requests, rate_per_s);
+    std::printf("%zu replicas, %d requests (Poisson %.0f req/s fleet-wide, %zu thread%s):\n",
+                replicas, requests, rate_per_s, args.threads, args.threads == 1 ? "" : "s");
     std::printf("  simulated makespan   %.1f ms\n", rep.makespan.ms());
     std::printf("  fleet throughput     %.0f tok/s\n", rep.tokens_per_s);
     std::printf("  TTFT p50 / p95       %.2f / %.2f ms\n", rep.ttft_ms.p50, rep.ttft_ms.p95);
@@ -127,12 +132,16 @@ int main(int argc, char** argv) {
     metrics.add("scale.e2e_p95_ms", rep.e2e_ms.p95);
     metrics.add("scale.fleet_utilization", rep.fleet_utilization);
     metrics.add("scale.imbalance", rep.imbalance);
+    bench::write_perf_record(args.perf_path, smoke ? "serve_scale" : "serve_scale_full",
+                             args.threads, wall);
   }
 
   // Calendar-vs-reference differential at a scale the O(replicas)-per-event
   // reference loop can still stomach. Identity is also pinned by
   // tests/test_calendar_diff.cpp; here it guards the exact configuration the
-  // scale run above uses, and yields the honest speedup number.
+  // scale run above uses -- including its thread count, so a --threads 4 CI
+  // run diffs the PARALLEL calendar loop against the sequential reference --
+  // and yields the honest speedup number.
   {
     const std::size_t dr = smoke ? 64 : 128;
     const int dn = smoke ? 2'000 : 5'000;
@@ -142,6 +151,7 @@ int main(int argc, char** argv) {
     for (const bool reference : {false, true}) {
       serve::ClusterConfig dcfg = ccfg;
       dcfg.reference_loop = reference;
+      dcfg.threads = reference ? 1 : args.threads;
       serve::ClusterSim cluster{
           sys, model, prof,
           serve::uniform_fleet(dr, core::StrategyKind::kMondeLoadBalanced, sched), dcfg};

@@ -1,0 +1,105 @@
+#include "common/taskpool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace monde::common {
+
+TaskPool::TaskPool(std::size_t threads) {
+  MONDE_REQUIRE(threads >= 1, "TaskPool needs at least one thread (the caller)");
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::work_on(Job& job) {
+  for (;;) {
+    const std::size_t begin = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.n) return;
+    const std::size_t end = std::min(begin + job.chunk, job.n);
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        // Keep the lowest-index exception: the one a sequential loop would
+        // have thrown first, so failure behavior is thread-count-invariant.
+        std::lock_guard<std::mutex> lock{job.err_mu};
+        if (!job.err || i < job.err_index) {
+          job.err = std::current_exception();
+          job.err_index = i;
+        }
+      }
+    }
+    job.done.fetch_add(end - begin, std::memory_order_acq_rel);
+  }
+}
+
+void TaskPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && generation_ != seen); });
+      if (stop_) return;
+      job = job_;
+      seen = generation_;
+      // Counted while still under mu_: run() clears job_ under the same
+      // lock only after active_ drains, so a worker can never touch a Job
+      // whose run() call already returned (the Job lives on run()'s stack).
+      job->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    work_on(*job);
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      job->active.fetch_sub(1, std::memory_order_acq_rel);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void TaskPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Sequential degenerate case: plain loop, plain first-throw propagation.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  // Several chunks per thread so an uneven task (one replica with much more
+  // work than its neighbours) doesn't serialize the tail, while a huge n
+  // still costs only ~8 * threads atomic claims.
+  job.chunk = std::max<std::size_t>(1, n / (threads() * 8));
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    MONDE_ASSERT(job_ == nullptr, "TaskPool::run is not reentrant");
+    job_ = &job;
+    ++generation_;
+  }
+  cv_.notify_all();
+  work_on(job);
+  {
+    std::unique_lock<std::mutex> lock{mu_};
+    done_cv_.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) == job.n &&
+             job.active.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;  // stragglers that never joined see null and go back to sleep
+  }
+  if (job.err) std::rethrow_exception(job.err);
+}
+
+}  // namespace monde::common

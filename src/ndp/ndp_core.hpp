@@ -36,8 +36,10 @@
 // the cycle simulator itself validates at the crossover (see tests).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <map>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -61,6 +63,19 @@ struct NdpKernelResult {
 
 /// The NDP core + device-memory simulator. One instance per MoNDE device
 /// configuration; results are memoized by GEMM shape (deterministic).
+///
+/// Concurrency: simulate_gemm() / simulate_expert() may be called from many
+/// threads at once (a parallel ClusterSim shares one NdpCoreSim across every
+/// replica). The shape memo is a read-mostly concurrent table: lookups are
+/// lock-free (the steady state once the shape space is warm), and a miss
+/// computes the result outside any lock, then inserts under a mutex --
+/// concurrent computers of one shape each derive the identical deterministic
+/// value and converge on a single canonical entry, so memoized latencies are
+/// bit-identical regardless of thread count or interleaving. Only the
+/// hit/miss COUNTERS may differ run to run under concurrency (racing misses
+/// on one shape each count once); they are diagnostics, never simulation
+/// inputs. The public knobs (cycle_sim_token_limit, bank_partitioning,
+/// exhaustive_tick) must be set before concurrent use begins.
 class NdpCoreSim {
  public:
   NdpCoreSim(NdpSpec ndp, dram::Spec mem);
@@ -102,8 +117,12 @@ class NdpCoreSim {
   /// exhaustive results never alias in differential tests.
   bool exhaustive_tick = dram::DramSystem::exhaustive_tick_env_default();
 
-  [[nodiscard]] std::uint64_t memo_hits() const { return memo_hits_; }
-  [[nodiscard]] std::uint64_t memo_misses() const { return memo_misses_; }
+  [[nodiscard]] std::uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t memo_misses() const {
+    return memo_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// A double-buffered unit of pipeline work.
@@ -131,12 +150,45 @@ class NdpCoreSim {
     return static_cast<int>(dt) * 4 + (bank_partitioning ? 2 : 0) + (exhaustive_tick ? 1 : 0);
   }
 
+  /// Read-mostly concurrent memo table: fixed bucket array of immutable,
+  /// prepend-only chains. find() is lock-free (acquire-load the bucket head,
+  /// walk nodes that are never mutated after publication); insert() takes
+  /// one mutex, re-checks, and publishes with a release store. Entries are
+  /// never removed, so lookups need no reader registration and returned
+  /// references stay valid for the table's lifetime.
+  class MemoTable {
+   public:
+    MemoTable() = default;
+    ~MemoTable();
+    MemoTable(const MemoTable&) = delete;
+    MemoTable& operator=(const MemoTable&) = delete;
+
+    /// Lock-free lookup; nullptr on miss. The pointee is immutable.
+    [[nodiscard]] const NdpKernelResult* find(const Key& key) const;
+
+    /// Insert under the table mutex; returns the canonical entry (an earlier
+    /// racer's identical value wins, the duplicate is discarded).
+    const NdpKernelResult& insert(const Key& key, const NdpKernelResult& value);
+
+   private:
+    struct Node {
+      Key key;
+      NdpKernelResult value;
+      Node* next = nullptr;
+    };
+    static constexpr std::size_t kBuckets = 512;
+    [[nodiscard]] static std::size_t bucket_of(const Key& key);
+
+    std::array<std::atomic<Node*>, kBuckets> heads_{};
+    std::mutex insert_mu_;
+  };
+
   NdpSpec ndp_;
   dram::Spec mem_;
-  std::map<Key, NdpKernelResult> gemm_memo_;
-  std::map<Key, NdpKernelResult> expert_memo_;
-  std::uint64_t memo_hits_ = 0;
-  std::uint64_t memo_misses_ = 0;
+  MemoTable gemm_memo_;
+  MemoTable expert_memo_;
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> memo_misses_{0};
 };
 
 }  // namespace monde::ndp

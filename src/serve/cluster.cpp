@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <queue>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "common/taskpool.hpp"
 #include "ndp/ndp_core.hpp"
 
 namespace monde::serve {
@@ -28,6 +31,7 @@ void ClusterConfig::validate() const {
   MONDE_REQUIRE(retry_timeout > Duration::zero(), "retry_timeout must be positive");
   MONDE_REQUIRE(warmup >= Duration::zero(), "warmup must be non-negative");
   MONDE_REQUIRE(autoscale_period > Duration::zero(), "autoscale_period must be positive");
+  MONDE_REQUIRE(threads >= 1, "threads must be >= 1 (the calling thread counts)");
   cache.validate();
 }
 
@@ -140,12 +144,14 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
   MONDE_REQUIRE(!used_, "ClusterSim::run() may be called only once");
   used_ = true;
   const bool fast = !cfg_.reference_loop;
-  // The slow-EWMA soft filter compares every replica against a fleet-median
-  // cutoff -- inherently a full rebuild per dispatch -- so the incremental
-  // eligible index serves only the (default) disabled-filter configs; with a
-  // finite factor the calendar still drives advancement but dispatch falls
-  // back to exact full snapshots.
-  const bool incremental_eligible = fast && !std::isfinite(cfg_.health.slow_ewma_factor);
+  // With a finite slow_ewma_factor the median cutoff is maintained
+  // incrementally too (running median + write-through fast set, below), so
+  // the eligible index serves every fast-mode config.
+  const bool ewma_filter = fast && std::isfinite(cfg_.health.slow_ewma_factor);
+  // Worker pool for the parallel advancement phase. threads == 1 builds no
+  // pool at all: the loop below is then the plain sequential path.
+  std::unique_ptr<common::TaskPool> pool;
+  if (fast && cfg_.threads > 1) pool = std::make_unique<common::TaskPool>(cfg_.threads);
 
   // --- Arrival intake: lazy stream head + duplicate/order policing --------
   std::unordered_map<std::uint64_t, Duration> original_arrival;
@@ -252,7 +258,7 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
   std::size_t fail_cursor = 0;
   std::size_t detect_cursor = 0;
 
-  // --- Incremental eligible-snapshot index (fast mode, default filter) ----
+  // --- Incremental eligible-snapshot index (fast mode) --------------------
   // `eligible` holds exactly the accepting replicas in ascending index order
   // (the order eligible_snapshots() yields); load fields are written through
   // whenever a replica's server mutates, and the few time-varying fields
@@ -278,31 +284,161 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
                                .ms(),
                            r.ewma_ms};
   };
+
+  // --- Incremental slow-EWMA filter (finite factor only) ------------------
+  // eligible_snapshots()'s soft filter, maintained instead of rebuilt: a
+  // two-multiset running median over the positive step EWMAs of eligible
+  // replicas reproduces percentile(ewmas, 50) bit-for-bit (the R-7
+  // interpolation weight at q=50 is exactly 0.0 for odd counts and 0.5 for
+  // even ones), `by_ewma` orders those replicas by EWMA so a cutoff move
+  // flips exactly the replicas in the crossed interval, and `fast_eligible`
+  // mirrors the EWMA <= cutoff subsequence of `eligible` (same ascending
+  // replica order; zero-EWMA replicas always qualify since the cutoff is
+  // positive -- factor > 1 -- or infinite when no positive EWMA exists).
+  std::multiset<double> med_lo;  // lower half; its max is the lower median
+  std::multiset<double> med_hi;  // upper half; its min is the upper median
+  std::multiset<std::pair<double, std::size_t>> by_ewma;  // positive (ewma, replica)
+  std::vector<ReplicaSnapshot> fast_eligible;  // the EWMA <= cutoff subsequence
+  std::vector<std::size_t> fpos;  // replica index -> slot in `fast_eligible`
+  double cutoff = std::numeric_limits<double>::infinity();
+  const auto med_rebalance = [&] {
+    if (med_lo.size() > med_hi.size() + 1) {
+      const auto it = std::prev(med_lo.end());
+      med_hi.insert(*it);
+      med_lo.erase(it);
+    } else if (med_hi.size() > med_lo.size()) {
+      const auto it = med_hi.begin();
+      med_lo.insert(*it);
+      med_hi.erase(it);
+    }
+  };
+  const auto med_insert = [&](double x) {
+    if (med_lo.empty() || x <= *std::prev(med_lo.end())) {
+      med_lo.insert(x);
+    } else {
+      med_hi.insert(x);
+    }
+    med_rebalance();
+  };
+  const auto med_erase = [&](double x) {
+    if (const auto it = med_lo.find(x); it != med_lo.end()) {
+      med_lo.erase(it);
+    } else {
+      med_hi.erase(med_hi.find(x));
+    }
+    med_rebalance();
+  };
+  const auto current_cutoff = [&]() -> double {
+    const std::size_t k = med_lo.size() + med_hi.size();
+    if (k == 0) return std::numeric_limits<double>::infinity();
+    double median;
+    if (k % 2 == 1) {
+      median = *std::prev(med_lo.end());
+    } else {
+      const double a = *std::prev(med_lo.end());
+      const double b = *med_hi.begin();
+      median = a + (b - a) * 0.5;  // sorted_percentile's exact arithmetic
+    }
+    return median * cfg_.health.slow_ewma_factor;
+  };
+  const auto set_fast_member = [&](std::size_t i, bool member) {
+    fpos.resize(replicas_.size(), kNoSlot);
+    if (member == (fpos[i] != kNoSlot)) return;  // idempotent
+    if (member) {
+      const auto at = std::lower_bound(
+          fast_eligible.begin(), fast_eligible.end(), i,
+          [](const ReplicaSnapshot& s, std::size_t idx) { return s.replica < idx; });
+      const auto slot = static_cast<std::size_t>(at - fast_eligible.begin());
+      fast_eligible.insert(at, eligible[epos[i]]);
+      for (std::size_t p = slot; p < fast_eligible.size(); ++p) {
+        fpos[fast_eligible[p].replica] = p;
+      }
+    } else {
+      const std::size_t slot = fpos[i];
+      fast_eligible.erase(fast_eligible.begin() + static_cast<std::ptrdiff_t>(slot));
+      fpos[i] = kNoSlot;
+      for (std::size_t p = slot; p < fast_eligible.size(); ++p) {
+        fpos[fast_eligible[p].replica] = p;
+      }
+    }
+  };
+  // Move the cutoff: only replicas whose EWMA lies in the crossed interval
+  // (lo, hi] can change sides, and by_ewma hands us exactly those.
+  const auto apply_cutoff = [&](double next) {
+    if (next == cutoff) return;
+    const double lo = std::min(cutoff, next);
+    const double hi = std::max(cutoff, next);
+    cutoff = next;
+    constexpr std::size_t kMaxIdx = std::numeric_limits<std::size_t>::max();
+    const auto last = by_ewma.upper_bound({hi, kMaxIdx});
+    for (auto it = by_ewma.upper_bound({lo, kMaxIdx}); it != last; ++it) {
+      set_fast_member(it->second, it->first <= cutoff);
+    }
+  };
+  const auto filter_add = [&](std::size_t i, double ewma) {
+    if (!ewma_filter) return;
+    if (ewma > 0.0) {
+      med_insert(ewma);
+      by_ewma.insert({ewma, i});
+    }
+    apply_cutoff(current_cutoff());
+    set_fast_member(i, ewma <= cutoff);
+  };
+  const auto filter_remove = [&](std::size_t i, double ewma) {
+    if (!ewma_filter) return;
+    set_fast_member(i, false);
+    if (ewma > 0.0) {
+      med_erase(ewma);
+      by_ewma.erase(by_ewma.find({ewma, i}));
+    }
+    apply_cutoff(current_cutoff());
+  };
+  const auto filter_update = [&](std::size_t i, double old_ewma, double new_ewma) {
+    if (!ewma_filter || old_ewma == new_ewma) return;
+    if (old_ewma > 0.0) {
+      med_erase(old_ewma);
+      by_ewma.erase(by_ewma.find({old_ewma, i}));
+    }
+    if (new_ewma > 0.0) {
+      med_insert(new_ewma);
+      by_ewma.insert({new_ewma, i});
+    }
+    apply_cutoff(current_cutoff());
+    set_fast_member(i, new_ewma <= cutoff);
+  };
+
   const auto eligible_add = [&](std::size_t i, Duration now) {
-    if (!incremental_eligible) return;
+    if (!fast) return;
     epos.resize(replicas_.size(), kNoSlot);
     epos[i] = eligible.size();
     eligible.push_back(make_snapshot(i, now));
     if (replicas_[i].server->start_at() > now || replicas_[i].server->fault().fail_stop()) {
       time_sensitive.push_back(i);
     }
+    filter_add(i, replicas_[i].ewma_ms);
   };
   const auto eligible_remove = [&](std::size_t i) {
-    if (!incremental_eligible) return;
+    if (!fast) return;
     const std::size_t at = epos[i];
     if (at == kNoSlot) return;
+    filter_remove(i, eligible[at].step_ewma_ms);
     eligible.erase(eligible.begin() + static_cast<std::ptrdiff_t>(at));
     epos[i] = kNoSlot;
     for (std::size_t p = at; p < eligible.size(); ++p) epos[eligible[p].replica] = p;
   };
   const auto write_through = [&](std::size_t i) {
-    if (!incremental_eligible) return;
+    if (!fast) return;
     const std::size_t at = epos[i];
     if (at == kNoSlot) return;
     ReplicaSnapshot& s = eligible[at];
+    const double old_ewma = s.step_ewma_ms;
     s.in_flight = replicas_[i].server->in_flight();
     s.outstanding_tokens = replicas_[i].server->outstanding_tokens();
     s.step_ewma_ms = replicas_[i].ewma_ms;
+    if (ewma_filter) {
+      if (fpos[i] != kNoSlot) fast_eligible[fpos[i]] = s;  // mirror load fields
+      filter_update(i, old_ewma, s.step_ewma_ms);
+    }
   };
   const auto refresh_time_sensitive = [&](Duration now) {
     std::size_t keep = 0;
@@ -315,6 +451,11 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
         s.warming = warming;
         s.heartbeat_age_ms =
             (now - last_ok_heartbeat(now, r.server->fault().fail_at, cfg_.health)).ms();
+        if (ewma_filter && fpos[i] != kNoSlot) {
+          ReplicaSnapshot& f = fast_eligible[fpos[i]];
+          f.warming = s.warming;
+          f.heartbeat_age_ms = s.heartbeat_age_ms;
+        }
       }
       // Done once the cold start is over and no fail-stop can age the
       // heartbeat further (a detected replica left `eligible` for good).
@@ -324,35 +465,59 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     }
     time_sensitive.resize(keep);
   };
-  if (incremental_eligible) {
+  if (fast) {
     for (std::size_t i = 0; i < replicas_.size(); ++i) eligible_add(i, Duration::zero());
   }
 
   // --- Fleet advancement ---------------------------------------------------
-  const auto advance_one = [&](std::size_t i, Duration t) {
-    Replica& r = replicas_[i];
-    r.server->advance_to(t);
-    update_ewma(r);
+  const auto commit_one = [&](std::size_t i) {
+    update_ewma(replicas_[i]);
     write_through(i);
     push_calendar(i);
   };
-  // Fast-mode equivalent of advance_all(t): eagerly kill replicas whose
+  const auto advance_one = [&](std::size_t i, Duration t) {
+    replicas_[i].server->advance_to(t);
+    commit_one(i);
+  };
+  // Fast-mode equivalent of advance_all(t): collect the replicas whose
   // fail-stop lies at or before t (advance_to mutates them even when they
-  // look event-less), then drain every calendar entry strictly before t --
-  // each popped replica is advanced all the way to t, and a replica with no
-  // entry before t provably has nothing to do there (advance_to(t) with
-  // next_event_time() >= t is a no-op for a live server).
+  // look event-less) plus every calendar entry strictly before t into one
+  // batch -- a replica with no entry before t provably has nothing to do
+  // there (advance_to(t) with next_event_time() >= t is a no-op for a live
+  // server), and an advanced replica's next event lands at or after t, so
+  // one batch is exhaustive. The batch then advances each replica all the
+  // way to t: in parallel on the pool when one exists (servers are mutually
+  // independent; the shared NdpCoreSim memo is concurrency-safe with
+  // canonical values), with the per-replica write-backs (EWMA fold,
+  // snapshot write-through, calendar re-push) committed sequentially in
+  // ascending replica order afterwards. The write-backs commute -- each
+  // touches its own replica's state, and the index/filter updates are pure
+  // functions of the final fleet state -- so the fixed commit order keeps
+  // parallel runs bit-identical to the sequential interleaving.
+  std::vector<std::size_t> batch;  // reused across events
   const auto advance_fleet_to = [&](Duration t) {
+    batch.clear();
     while (fail_cursor < fail_order.size() && fail_order[fail_cursor].first <= t) {
-      advance_one(fail_order[fail_cursor].second, t);
+      batch.push_back(fail_order[fail_cursor].second);
       ++fail_cursor;
     }
     for (;;) {
       settle_calendar();
       if (calendar.empty() || calendar.top().time >= t) break;
-      const std::size_t i = calendar.top().replica;
+      batch.push_back(calendar.top().replica);
       calendar.pop();
-      advance_one(i, t);
+    }
+    if (batch.empty()) return;
+    // A failing replica may also hold a live calendar entry before t; never
+    // hand the same replica to two workers.
+    std::sort(batch.begin(), batch.end());
+    batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+    if (pool != nullptr && batch.size() > 1) {
+      pool->run(batch.size(),
+                [&](std::size_t k) { replicas_[batch[k]].server->advance_to(t); });
+      for (const std::size_t i : batch) commit_one(i);
+    } else {
+      for (const std::size_t i : batch) advance_one(i, t);
     }
   };
   const auto advance = [&](Duration t) {
@@ -561,18 +726,22 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     const Item it = pop_item();
     advance(it.time);
     std::size_t idx;  // the chosen replica
-    if (incremental_eligible) {
+    if (fast) {
       // Fast path: the maintained index IS the eligible list. Detections at
       // or before `it.time` were processed first, and a healthy heartbeat
       // age never exceeds one interval, so the stale cut the reference
-      // filter applies provably keeps exactly the accepting set.
+      // filter applies provably keeps exactly the accepting set. With the
+      // EWMA filter on, `fast_eligible` is the maintained <= cutoff subset,
+      // with the reference's no-starvation guard (empty -> everyone stays).
       refresh_time_sensitive(it.time);
       MONDE_REQUIRE(!eligible.empty(),
                     "no replica is accepting requests (every replica failed or retired)");
-      const std::size_t pick = dispatcher.pick(eligible);
-      MONDE_REQUIRE(pick < eligible.size(),
-                    "dispatcher picked entry " << pick << " of " << eligible.size());
-      idx = eligible[pick].replica;
+      const std::vector<ReplicaSnapshot>& view =
+          ewma_filter && !fast_eligible.empty() ? fast_eligible : eligible;
+      const std::size_t pick = dispatcher.pick(view);
+      MONDE_REQUIRE(pick < view.size(),
+                    "dispatcher picked entry " << pick << " of " << view.size());
+      idx = view[pick].replica;
     } else {
       // The stale-heartbeat cut is belt-and-braces here: detection events at
       // or before `it.time` were processed first, so a replica whose age
@@ -613,8 +782,14 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     }
   }
   // No further arrivals: replicas finish independently, so each can drain
-  // to completion on its own (failed replicas were harvested above).
-  for (Replica& r : replicas_) r.server->drain();
+  // to completion on its own (failed replicas were harvested above). The
+  // drains are mutually independent, so they fan out to the pool too; the
+  // report below reads the servers only after every drain returned.
+  if (pool != nullptr && replicas_.size() > 1) {
+    pool->run(replicas_.size(), [&](std::size_t i) { replicas_[i].server->drain(); });
+  } else {
+    for (Replica& r : replicas_) r.server->drain();
+  }
 
   ClusterReport rep;
   rep.policy = dispatcher.name();

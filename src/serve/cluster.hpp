@@ -54,8 +54,11 @@
 // before it, instead of scanning the whole fleet. Dispatch likewise reads an
 // incrementally maintained index of accepting-replica snapshots (updated
 // only when a replica's server mutates) rather than rebuilding every
-// snapshot per request. Arrivals may be consumed lazily from an
-// ArrivalStream (arrivals.hpp), so a million-request trace is never
+// snapshot per request; the slow-EWMA health filter, when enabled, is part
+// of the same index (a running median over the eligible EWMAs and a
+// write-through maintained fast set), so a finite slow_ewma_factor no
+// longer forces per-dispatch rebuilds. Arrivals may be consumed lazily from
+// an ArrivalStream (arrivals.hpp), so a million-request trace is never
 // materialized. The calendar loop is proven bit-identical to the classic
 // scan-everything loop (ClusterConfig::reference_loop, kept for diff
 // tests); one caveat: in the fast path the time-varying snapshot fields
@@ -63,8 +66,20 @@
 // for replicas where they can change eligibility or behavior -- the stock
 // policies never read them, and eligibility is provably unaffected, but a
 // custom Dispatcher needing exact per-dispatch heartbeat ages for healthy
-// replicas should set reference_loop (or a finite slow_ewma_factor, whose
-// median cutoff forces full rebuilds anyway).
+// replicas should set reference_loop.
+//
+// Parallelism (PR 7): with ClusterConfig::threads > 1 the calendar loop
+// fans each event's advancement batch (the replicas with server events
+// before the event's instant) out to a common::TaskPool. Replica servers
+// are mutually independent -- the only state they share is the NdpCoreSim,
+// whose shape memo is a concurrent table with canonical (deterministic)
+// values -- so the batch advances in parallel and the per-replica
+// write-backs (EWMA fold, snapshot-index write-through, calendar re-push)
+// then commit sequentially in ascending replica order. That fixed commit
+// order makes every counter, percentile, and RNG draw independent of thread
+// scheduling: runs are bit-identical across thread counts, pinned by
+// tests/test_calendar_diff.cpp at 1-8 threads. See ARCHITECTURE.md's
+// "Parallel execution model".
 //
 // The report carries per-replica ServeReports and fleet-wide aggregates:
 // latency percentiles over the union of all requests (re-based to original
@@ -146,6 +161,12 @@ struct ClusterConfig {
   /// tests and for custom dispatchers that want exact time-varying snapshot
   /// fields (see the file comment).
   bool reference_loop = false;
+  /// Worker threads for the parallel advancement phase (the calling thread
+  /// counts, so 1 = fully sequential, no pool, no behavior risk). Results
+  /// are bit-identical across thread counts (see the file comment); only
+  /// wall-clock changes. Ignored by the reference loop, which stays
+  /// single-threaded by design.
+  std::size_t threads = 1;
 
   void validate() const;
 };

@@ -1,11 +1,14 @@
-// Refactor-seam pinning for the indexed event calendar (PR 6): the
-// calendar-driven ClusterSim::run loop must be bit-identical to the classic
-// scan-everything loop (ClusterConfig::reference_loop) on the same seeds,
-// across every behavior the cluster models -- plain dispatch, failure
-// injection + retry, autoscaling, and KV-cache recovery/migration. Also
-// covers the event-log gating satellite (metrics identical with the log
-// off) and the ServerSim version counter the calendar's lazy deletion
-// trusts.
+// Refactor-seam pinning for the indexed event calendar (PR 6) and its
+// parallel advancement phase (PR 7): the calendar-driven ClusterSim::run
+// loop must be bit-identical to the classic scan-everything loop
+// (ClusterConfig::reference_loop) on the same seeds, across every behavior
+// the cluster models -- plain dispatch, failure injection + retry,
+// autoscaling, and KV-cache recovery/migration -- and at every thread count
+// (the Parallel* tests diff 1/2/4/8 worker threads against the sequential
+// reference; the commit-order rule in serve/cluster.cpp is what makes that
+// hold). Also covers the event-log gating satellite (metrics identical with
+// the log off), the incremental slow-EWMA filter, and the ServerSim version
+// counter the calendar's lazy deletion trusts.
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -108,11 +111,13 @@ struct Scenario {
   std::uint64_t dispatch_seed = 7;
   AutoscaleConfig autoscale;
   bool autoscaled = false;
+  std::size_t threads = 1;  ///< calendar-loop worker threads (reference stays 1)
 };
 
 ClusterReport run_scenario(const Scenario& sc, bool reference_loop) {
   ClusterConfig cfg = sc.cfg;
   cfg.reference_loop = reference_loop;
+  cfg.threads = reference_loop ? 1 : sc.threads;
   ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),
                      sc.specs, cfg};
   const auto dispatcher = make_dispatcher(sc.policy, sc.dispatch_seed);
@@ -124,6 +129,18 @@ ClusterReport run_scenario(const Scenario& sc, bool reference_loop) {
 void expect_loops_agree(const Scenario& sc) {
   expect_reports_identical(run_scenario(sc, /*reference_loop=*/false),
                            run_scenario(sc, /*reference_loop=*/true));
+}
+
+/// The parallel calendar loop must match the sequential reference at every
+/// thread count: thread scheduling may reorder the advancement work, but the
+/// ascending-replica commit order pins every counter and RNG stream.
+void expect_threads_agree(Scenario sc) {
+  const ClusterReport ref = run_scenario(sc, /*reference_loop=*/true);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    sc.threads = threads;
+    expect_reports_identical(run_scenario(sc, /*reference_loop=*/false), ref);
+  }
 }
 
 TEST(CalendarDiff, PlainFleetAllPolicies) {
@@ -206,10 +223,11 @@ TEST(CalendarDiff, PrefixCacheSurvivalAndMigration) {
   expect_loops_agree(sc);
 }
 
-TEST(CalendarDiff, SlowEwmaFilterFallsBackToExactSnapshots) {
-  // A finite slow_ewma_factor needs fleet-median EWMAs per dispatch, so the
-  // calendar loop routes dispatch through full snapshot rebuilds -- still
-  // bit-identical to the reference loop.
+TEST(CalendarDiff, SlowEwmaFilterStaysIncremental) {
+  // A finite slow_ewma_factor keeps the eligible index incremental: the
+  // fleet-median cutoff is a running median and the fast set is maintained
+  // by write-through -- bit-identical to the reference filter's per-dispatch
+  // rebuild (the running median reproduces percentile(ewmas, 50) exactly).
   Scenario sc;
   sc.trace = poisson_trace(20, 80.0, small_shape(), 33);
   sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
@@ -218,6 +236,104 @@ TEST(CalendarDiff, SlowEwmaFilterFallsBackToExactSnapshots) {
   sc.specs[2].fault.slow_factor = 8.0;
   sc.cfg.health.slow_ewma_factor = 2.0;
   expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, SlowEwmaFilterWithFailuresAndAutoscale) {
+  // The incremental median/fast-set must also survive membership churn:
+  // replicas leaving on detection and retirement, joining on spawn, and a
+  // degraded peer whose EWMA keeps crossing the moving cutoff.
+  Scenario sc;
+  sc.trace = bursty_trace(28, 7, Duration::millis(25), small_shape(), 19);
+  sc.specs = uniform_fleet(4, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[1].fault.fail_at = Duration::millis(35);
+  sc.specs[3].fault.slow_from = Duration::millis(5);
+  sc.specs[3].fault.slow_until = Duration::millis(80);
+  sc.specs[3].fault.slow_factor = 6.0;
+  sc.cfg.health.slow_ewma_factor = 2.0;
+  sc.cfg.retry_timeout = Duration::millis(2);
+  sc.cfg.warmup = Duration::millis(2);
+  sc.cfg.autoscale_period = Duration::millis(3);
+  sc.autoscaled = true;
+  sc.autoscale.min_replicas = 2;
+  sc.autoscale.max_replicas = 6;
+  sc.autoscale.high_tokens_per_replica = 96;
+  sc.autoscale.low_tokens_per_replica = 8;
+  expect_loops_agree(sc);
+}
+
+// --- Parallel advancement (PR 7): 1/2/4/8 threads vs the reference ----------
+
+TEST(ParallelDiff, PlainFleetAllPolicies) {
+  for (const DispatchPolicy policy : all_dispatch_policies()) {
+    Scenario sc;
+    sc.trace = poisson_trace(24, 90.0, small_shape(), 21);
+    sc.specs = uniform_fleet(4, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+    sc.policy = policy;
+    expect_threads_agree(sc);
+  }
+}
+
+TEST(ParallelDiff, FaultInjectionWithRetries) {
+  Scenario sc;
+  sc.trace = bursty_trace(24, 6, Duration::millis(25), small_shape(), 13);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[1].fault.fail_at = Duration::millis(30);
+  sc.specs[2].fault.slow_from = Duration::millis(10);
+  sc.specs[2].fault.slow_until = Duration::millis(60);
+  sc.specs[2].fault.slow_factor = 3.0;
+  sc.cfg.retry_timeout = Duration::millis(2);
+  expect_threads_agree(sc);
+}
+
+TEST(ParallelDiff, AutoscaleUpAndDown) {
+  Scenario sc;
+  sc.trace = bursty_trace(36, 12, Duration::millis(40), small_shape(), 29);
+  sc.specs = uniform_fleet(2, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.cfg.warmup = Duration::millis(3);
+  sc.cfg.autoscale_period = Duration::millis(2);
+  sc.policy = DispatchPolicy::kPowerOfTwoChoices;
+  sc.dispatch_seed = 11;
+  sc.autoscaled = true;
+  sc.autoscale.min_replicas = 1;
+  sc.autoscale.max_replicas = 6;
+  sc.autoscale.high_tokens_per_replica = 96;
+  sc.autoscale.low_tokens_per_replica = 8;
+  expect_threads_agree(sc);
+}
+
+TEST(ParallelDiff, PrefixCacheSurvivalAndMigration) {
+  RequestShape shape = small_shape();
+  shape.prefix_groups = 2;
+  shape.shared_fraction = 0.75;
+  shape.shared_prefix_len = 12;
+  Scenario sc;
+  sc.trace = poisson_trace(28, 100.0, shape, 17);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[0].fault.fail_at = Duration::millis(25);
+  sc.cfg.retry_timeout = Duration::millis(2);
+  sc.cfg.cache.enabled = true;
+  sc.cfg.cache.capacity_tokens = 4096;
+  sc.cfg.cache.survive_failstop = true;
+  sc.cfg.cache.migrate_on_retire = true;
+  sc.cfg.warmup = Duration::millis(2);
+  sc.cfg.autoscale_period = Duration::millis(4);
+  sc.autoscaled = true;
+  sc.autoscale.min_replicas = 1;
+  sc.autoscale.max_replicas = 4;
+  sc.autoscale.high_tokens_per_replica = 1 << 20;
+  sc.autoscale.low_tokens_per_replica = 1 << 19;
+  expect_threads_agree(sc);
+}
+
+TEST(ParallelDiff, SlowEwmaFilterAcrossThreads) {
+  Scenario sc;
+  sc.trace = poisson_trace(20, 80.0, small_shape(), 33);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[2].fault.slow_from = Duration::zero();
+  sc.specs[2].fault.slow_until = Duration::seconds(1);
+  sc.specs[2].fault.slow_factor = 8.0;
+  sc.cfg.health.slow_ewma_factor = 2.0;
+  expect_threads_agree(sc);
 }
 
 // --- Event-log gating (the perf-bugfix satellite) ---------------------------
