@@ -79,15 +79,28 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
 /// that the budget gate never reads; scripts/check_perf_trend.py appends it
 /// (dated) to the retained perf history and gates the trend. No-op when
 /// `path` is empty (no --perf given).
+/// The optional per-phase split (ClusterConfig::measure_phases): negative
+/// values mean "not measured" and the keys are omitted from the record, so
+/// pre-existing perf histories and non-cluster benches are unaffected.
 inline void write_perf_record(const std::string& path, const std::string& bench,
-                              std::size_t threads, double wall_s) {
+                              std::size_t threads, double wall_s,
+                              double advance_s = -1.0, double dispatch_s = -1.0,
+                              double commit_s = -1.0) {
   if (path.empty()) return;
   std::ofstream out{path};
   MONDE_REQUIRE(out.good(), "cannot open --perf path '" << path << "' for writing");
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.3f", wall_s);
-  out << "{\"bench\": \"" << bench << "\", \"threads\": " << threads << ", \"wall_s\": " << buf
-      << "}\n";
+  out << "{\"bench\": \"" << bench << "\", \"threads\": " << threads << ", \"wall_s\": " << buf;
+  const auto phase = [&](const char* key, double value) {
+    if (value < 0.0) return;
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    out << ", \"" << key << "\": " << buf;
+  };
+  phase("advance_s", advance_s);
+  phase("dispatch_s", dispatch_s);
+  phase("commit_s", commit_s);
+  out << "}\n";
   MONDE_REQUIRE(out.good(), "failed writing --perf output to '" << path << "'");
   std::printf("wrote perf record to %s\n", path.c_str());
 }

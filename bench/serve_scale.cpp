@@ -101,6 +101,10 @@ int main(int argc, char** argv) {
   serve::ClusterConfig ccfg;
   ccfg.event_log_enabled = false;  // nobody reads 1M requests' worth of detail strings
   ccfg.threads = args.threads;     // bit-identical results; only wall-clock moves
+  // Phase split for the perf-trend dashboard: shows whether the sequential
+  // dispatch/commit phases dominate once advancement parallelizes. Only the
+  // --perf record reads it; simulated metrics are identical either way.
+  ccfg.measure_phases = !args.perf_path.empty();
 
   {
     serve::ClusterSim cluster{
@@ -121,8 +125,13 @@ int main(int argc, char** argv) {
     std::printf("  E2E p95              %.2f ms\n", rep.e2e_ms.p95);
     std::printf("  fleet utilization    %.3f\n", rep.fleet_utilization);
     std::printf("  imbalance            %.3f\n", rep.imbalance);
-    std::printf("  wall clock           %.1f s (%.0f requests/s simulated-through)\n\n", wall,
+    std::printf("  wall clock           %.1f s (%.0f requests/s simulated-through)\n", wall,
                 static_cast<double>(requests) / wall);
+    if (ccfg.measure_phases) {
+      std::printf("  phase split          advance %.1f s / dispatch %.1f s / commit %.1f s\n",
+                  rep.phase_advance_s, rep.phase_dispatch_s, rep.phase_commit_s);
+    }
+    std::printf("\n");
 
     metrics.add("scale.tokens_per_s", rep.tokens_per_s);
     metrics.add("scale.makespan_ms", rep.makespan.ms());
@@ -133,7 +142,8 @@ int main(int argc, char** argv) {
     metrics.add("scale.fleet_utilization", rep.fleet_utilization);
     metrics.add("scale.imbalance", rep.imbalance);
     bench::write_perf_record(args.perf_path, smoke ? "serve_scale" : "serve_scale_full",
-                             args.threads, wall);
+                             args.threads, wall, rep.phase_advance_s, rep.phase_dispatch_s,
+                             rep.phase_commit_s);
   }
 
   // Calendar-vs-reference differential at a scale the O(replicas)-per-event

@@ -4,9 +4,12 @@
 The budget gate (check_bench_budget.py) pins SIMULATED metrics, which are
 deterministic and machine-independent. Wall-clock is neither, so it gets a
 different treatment: every nightly serve-scale-full run appends its measured
-runtime (a `--perf` record: {"bench", "threads", "wall_s"}) to a retained
-history file, and this script gates the newest sample against the trailing
-median of its own (bench, threads) group. A slow sample on an unlucky
+runtime (a `--perf` record: {"bench", "threads", "wall_s"} plus optional
+per-phase keys "advance_s"/"dispatch_s"/"commit_s") to a retained history
+file, and this script gates the newest sample against the trailing median of
+its own (bench, threads) group. The phase split is display-only -- it shows
+where the wall-clock went (parallel advancement vs sequential dispatch and
+commit) but never gates; only total wall_s does. A slow sample on an unlucky
 runner widens the band once; a real slowdown shifts every subsequent sample
 and trips the gate.
 
@@ -35,6 +38,7 @@ import statistics
 import sys
 
 TRAILING_WINDOW = 10  # samples per (bench, threads) group the median sees
+PHASE_KEYS = ("advance_s", "dispatch_s", "commit_s")  # optional, display-only
 
 
 def load_history(path):
@@ -65,12 +69,16 @@ def append_records(history_path, record_paths, date):
                 print(f"error: {path} is not a --perf record (no '{key}')",
                       file=sys.stderr)
                 return None
-        added.append({
+        entry = {
             "date": date,
             "bench": record["bench"],
             "threads": int(record["threads"]),
             "wall_s": float(record["wall_s"]),
-        })
+        }
+        for key in PHASE_KEYS:  # optional phase split, retained for the table
+            if key in record:
+                entry[key] = float(record[key])
+        added.append(entry)
     os.makedirs(os.path.dirname(history_path) or ".", exist_ok=True)
     with open(history_path, "a", encoding="utf-8") as f:
         for entry in added:
@@ -88,16 +96,22 @@ def render_table(entries):
     for entry in entries:
         groups.setdefault(group_key(entry), []).append(entry)
     lines = [
-        "| bench | threads | trailing wall_s (oldest..newest) | median | latest |",
-        "|---|---|---|---|---|",
+        "| bench | threads | trailing wall_s (oldest..newest) | median | latest |"
+        " adv/disp/commit |",
+        "|---|---|---|---|---|---|",
     ]
     for (bench, threads), samples in sorted(groups.items()):
         tail = samples[-TRAILING_WINDOW:]
         walls = [s["wall_s"] for s in tail]
+        newest = tail[-1]
+        if all(key in newest for key in PHASE_KEYS):
+            phases = "/".join(f"{newest[key]:.1f}" for key in PHASE_KEYS)
+        else:
+            phases = "-"
         lines.append(
             f"| {bench} | {threads} | "
             f"{' '.join(f'{w:.1f}' for w in walls)} | "
-            f"{statistics.median(walls):.1f} | {walls[-1]:.1f} |"
+            f"{statistics.median(walls):.1f} | {walls[-1]:.1f} | {phases} |"
         )
     return "\n".join(lines)
 

@@ -26,16 +26,36 @@ void ExpertCache::insert(ExpertId id) {
   }
   if (index_.size() >= capacity_) {
     MONDE_ASSERT(!lru_.empty(), "cache index/list inconsistency");
+    signature_remove(lru_.back());
     index_.erase(lru_.back());
     lru_.pop_back();
   }
   lru_.push_front(id);
   index_.emplace(id, lru_.begin());
+  signature_add(id);
+}
+
+void ExpertCache::signature_add(ExpertId id) {
+  const int bit = moe::expert_signature_bit(id.layer, id.expert);
+  if (bit_counts_[bit]++ == 0) signature_ |= std::uint64_t{1} << bit;
+}
+
+void ExpertCache::signature_remove(ExpertId id) {
+  const int bit = moe::expert_signature_bit(id.layer, id.expert);
+  MONDE_ASSERT(bit_counts_[bit] > 0, "signature bit count underflow");
+  if (--bit_counts_[bit] == 0) signature_ &= ~(std::uint64_t{1} << bit);
+}
+
+void ExpertCache::stats_reset() {
+  hits_ = 0;
+  misses_ = 0;
 }
 
 void ExpertCache::clear() {
   lru_.clear();
   index_.clear();
+  signature_ = 0;
+  for (auto& c : bit_counts_) c = 0;
 }
 
 }  // namespace monde::core

@@ -97,6 +97,32 @@ std::vector<MoeLayerWork> WorkloadGenerator::decoder_step_for(std::uint64_t requ
   return out;
 }
 
+ExpertProfile WorkloadGenerator::expert_profile_for(std::uint64_t request_id, int width,
+                                                    std::int64_t tokens) const {
+  MONDE_REQUIRE(width > 0, "expert profile needs width > 0, got " << width);
+  MONDE_REQUIRE(tokens > 0, "expert profile needs probe tokens > 0, got " << tokens);
+  ExpertProfile profile;
+  profile.experts.reserve(decoder_gatings_.size() * static_cast<std::size_t>(width));
+  for (std::size_t i = 0; i < decoder_gatings_.size(); ++i) {
+    // A salt distinct from decoder_step_for's keeps the profiling probe on
+    // its own stream: deriving a profile must not change the routed work.
+    Rng rng{mix64(mix64(seed_ ^ 0x70f11e70f11e70f1ULL) + request_id) +
+            static_cast<std::uint64_t>(i)};
+    MoeLayerWork work;
+    work.layer_id = model_.encoder_moe_layers() + static_cast<int>(i);
+    work.total_tokens = tokens;
+    work.top_k = model_.top_k;
+    work.tokens_per_expert = decoder_gatings_[i].route(tokens, rng);
+    const auto by_load = work.experts_by_load();
+    const auto keep = std::min<std::size_t>(by_load.size(), static_cast<std::size_t>(width));
+    for (std::size_t r = 0; r < keep; ++r) {
+      profile.experts.push_back({work.layer_id, static_cast<int>(by_load[r])});
+    }
+  }
+  profile.rebuild_signature();
+  return profile;
+}
+
 std::vector<MoeLayerWork> WorkloadGenerator::merge_layer_works(
     const std::vector<std::vector<MoeLayerWork>>& per_request) {
   MONDE_REQUIRE(!per_request.empty(), "cannot merge zero routing draws");

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "moe/expert_profile.hpp"
 #include "moe/gating.hpp"
 #include "moe/model_config.hpp"
 
@@ -53,6 +54,16 @@ class WorkloadGenerator {
   [[nodiscard]] std::vector<MoeLayerWork> decoder_step_for(std::uint64_t request_id,
                                                            std::int64_t step,
                                                            std::int64_t tokens = 1) const;
+
+  /// The request's expert profile: its `width` most-activated experts per
+  /// decoder MoE layer, estimated by routing `tokens` probe tokens through
+  /// each layer's gating model on a dedicated per-request stream (distinct
+  /// from the decoder_step_for streams, so profiling never perturbs the
+  /// routed workload). Deterministic in (seed, request_id); entries are
+  /// layer-major, descending activation within a layer, with layer ids
+  /// offset past the encoder stack exactly like decoder_step_for.
+  [[nodiscard]] ExpertProfile expert_profile_for(std::uint64_t request_id, int width,
+                                                 std::int64_t tokens = 64) const;
 
   /// Element-wise sum of per-request draws into the shared per-layer work one
   /// decode step executes. Every entry must cover the same layers in the same

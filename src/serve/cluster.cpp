@@ -1,8 +1,10 @@
 #include "serve/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <optional>
 #include <queue>
 #include <set>
@@ -33,6 +35,7 @@ void ClusterConfig::validate() const {
   MONDE_REQUIRE(autoscale_period > Duration::zero(), "autoscale_period must be positive");
   MONDE_REQUIRE(threads >= 1, "threads must be >= 1 (the calling thread counts)");
   cache.validate();
+  expert.validate();
 }
 
 std::string to_string(ClusterEvent::Kind kind) {
@@ -43,6 +46,7 @@ std::string to_string(ClusterEvent::Kind kind) {
     case ClusterEvent::Kind::kFailureDetected: return "failure-detected";
     case ClusterEvent::Kind::kRetry: return "retry";
     case ClusterEvent::Kind::kMigrate: return "migrate";
+    case ClusterEvent::Kind::kExpertRebalance: return "expert-rebalance";
   }
   MONDE_ASSERT(false, "unknown cluster event kind");
   return {};
@@ -58,6 +62,10 @@ ClusterSim::ClusterSim(const core::SystemConfig& sys, const moe::MoeModelConfig&
   // fleet and expert-shape latencies memoize across replicas (the sharing
   // is timing-neutral; see test_fastpath_diff).
   shared_sim_ = std::make_shared<ndp::NdpCoreSim>(sys_.ndp, sys_.monde_mem);
+  if (cfg_.expert.enabled) {
+    profiler_ = std::make_unique<moe::WorkloadGenerator>(model_, profile_,
+                                                         cfg_.expert.profile_seed);
+  }
   replicas_.reserve(specs.size());
   next_seed_ = 0;
   for (const ReplicaSpec& spec : specs) {
@@ -75,8 +83,8 @@ void ClusterSim::add_replica(const ReplicaSpec& spec, Duration spawned_at,
   Replica r;
   r.engine = std::make_unique<core::InferenceEngine>(sys_, model_, profile_, spec.strategy,
                                                      spec.seed, shared_sim_);
-  r.server =
-      std::make_unique<ServerSim>(*r.engine, spec.sched, start_at, spec.fault, cfg_.cache);
+  r.server = std::make_unique<ServerSim>(*r.engine, spec.sched, start_at, spec.fault,
+                                         cfg_.cache, cfg_.expert);
   r.name = "replica" + std::to_string(replicas_.size()) + " (" +
            r.engine->strategy().name() + ")";
   r.spawned_at = spawned_at;
@@ -108,7 +116,8 @@ std::vector<ReplicaSnapshot> ClusterSim::snapshots(Duration now) const {
                                (now - last_ok_heartbeat(now, r.server->fault().fail_at,
                                                         cfg_.health))
                                    .ms(),
-                               r.ewma_ms};
+                               r.ewma_ms,
+                               r.server->expert_signature()};
   }
   return snaps;
 }
@@ -282,7 +291,8 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
                            (now - last_ok_heartbeat(now, r.server->fault().fail_at,
                                                     cfg_.health))
                                .ms(),
-                           r.ewma_ms};
+                           r.ewma_ms,
+                           r.server->expert_signature()};
   };
 
   // --- Incremental slow-EWMA filter (finite factor only) ------------------
@@ -435,6 +445,7 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     s.in_flight = replicas_[i].server->in_flight();
     s.outstanding_tokens = replicas_[i].server->outstanding_tokens();
     s.step_ewma_ms = replicas_[i].ewma_ms;
+    s.expert_sig = replicas_[i].server->expert_signature();
     if (ewma_filter) {
       if (fpos[i] != kNoSlot) fast_eligible[fpos[i]] = s;  // mirror load fields
       filter_update(i, old_ewma, s.step_ewma_ms);
@@ -469,15 +480,30 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     for (std::size_t i = 0; i < replicas_.size(); ++i) eligible_add(i, Duration::zero());
   }
 
+  // --- Per-phase wall-clock (ClusterConfig::measure_phases) ----------------
+  // Three buckets for the perf-trend dashboard: advancement (fans out to the
+  // pool), the sequential commit write-backs, and the sequential dispatch
+  // decisions. Zero-cost when off; simulated results never depend on them.
+  using WallClock = std::chrono::steady_clock;
+  const bool measure = cfg_.measure_phases;
+  double phase_advance_s = 0.0;
+  double phase_dispatch_s = 0.0;
+  double phase_commit_s = 0.0;
+  WallClock::time_point phase_t0{};
+  const auto phase_begin = [&] {
+    if (measure) phase_t0 = WallClock::now();
+  };
+  const auto phase_end = [&](double& bucket) {
+    if (measure) {
+      bucket += std::chrono::duration<double>(WallClock::now() - phase_t0).count();
+    }
+  };
+
   // --- Fleet advancement ---------------------------------------------------
   const auto commit_one = [&](std::size_t i) {
     update_ewma(replicas_[i]);
     write_through(i);
     push_calendar(i);
-  };
-  const auto advance_one = [&](std::size_t i, Duration t) {
-    replicas_[i].server->advance_to(t);
-    commit_one(i);
   };
   // Fast-mode equivalent of advance_all(t): collect the replicas whose
   // fail-stop lies at or before t (advance_to mutates them even when they
@@ -512,23 +538,34 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     // hand the same replica to two workers.
     std::sort(batch.begin(), batch.end());
     batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+    // Advance, then commit: the write-backs commute with advancement (each
+    // touches only its own replica's state, the index/filter updates are
+    // pure functions of the final fleet state), so the sequential path uses
+    // the same advance-all-then-commit-all split the pool path does -- one
+    // code shape, and the phase timers bucket both paths identically.
+    phase_begin();
     if (pool != nullptr && batch.size() > 1) {
       pool->run(batch.size(),
                 [&](std::size_t k) { replicas_[batch[k]].server->advance_to(t); });
-      for (const std::size_t i : batch) commit_one(i);
     } else {
-      for (const std::size_t i : batch) advance_one(i, t);
+      for (const std::size_t i : batch) replicas_[i].server->advance_to(t);
     }
+    phase_end(phase_advance_s);
+    phase_begin();
+    for (const std::size_t i : batch) commit_one(i);
+    phase_end(phase_commit_s);
   };
   const auto advance = [&](Duration t) {
     if (fast) {
       advance_fleet_to(t);
       return;
     }
+    phase_begin();
     for (Replica& r : replicas_) {
       r.server->advance_to(t);
       update_ewma(r);
     }
+    phase_end(phase_advance_s);
   };
 
   const bool log = cfg_.event_log_enabled;
@@ -537,6 +574,35 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
   std::size_t migrations = 0;
   std::size_t peak = accepting_count();
   Duration next_tick = cfg_.autoscale_period;
+
+  // --- Expert-aware serving state (inert when disabled) --------------------
+  const bool expert_on = cfg_.expert.enabled;
+  const bool rebalance_on = expert_on && cfg_.expert.rebalance_period > Duration::zero();
+  Duration next_rebalance = cfg_.expert.rebalance_period;
+  std::size_t expert_migrations = 0;
+  std::size_t pruned_requests = 0;
+  // Fleet-wide demand per expert, accumulated from dispatched profiles; the
+  // ordered map gives rebalance ticks a deterministic hottest-first walk.
+  std::map<core::ExpertId, std::uint64_t> fleet_expert_load;
+  // Truncate a profile to the `width` heaviest experts per layer (entries
+  // are layer-major, descending activation). Returns true if it shrank.
+  const auto prune_profile = [](moe::ExpertProfile& p, int width) {
+    std::vector<moe::ExpertProfile::Entry> kept;
+    kept.reserve(p.experts.size());
+    int run = 0;
+    int cur_layer = std::numeric_limits<int>::min();
+    for (const auto& e : p.experts) {
+      if (e.layer != cur_layer) {
+        cur_layer = e.layer;
+        run = 0;
+      }
+      if (run++ < width) kept.push_back(e);
+    }
+    if (kept.size() == p.experts.size()) return false;
+    p.experts = std::move(kept);
+    p.rebuild_signature();
+    return true;
+  };
 
   // Work that keeps drain-phase autoscale ticks alive: any replica (even a
   // retiring one, whose drain extends the makespan survivors are billed to)
@@ -587,8 +653,12 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
         (autoscaler != nullptr && (has_item() || fleet_has_live_work()))
             ? next_tick
             : Duration::infinite();
+    // Rebalance ticks only matter while requests remain to route: once the
+    // stream and retry queue are empty, residency can no longer help anyone.
+    const Duration reb_t = (rebalance_on && has_item()) ? next_rebalance
+                                                        : Duration::infinite();
 
-    if (det_t <= item_t && det_t <= tick_t) {
+    if (det_t <= item_t && det_t <= tick_t && det_t <= reb_t) {
       if (det_t == Duration::infinite()) break;  // nothing left to do
       Replica& r = replicas_[det_i];
       advance(det_t);  // the dying replica freezes at its fail-stop instant
@@ -626,7 +696,7 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
       continue;
     }
 
-    if (tick_t <= item_t) {
+    if (tick_t <= item_t && tick_t <= reb_t) {
       advance(tick_t);
       AutoscaleSignals sig;
       sig.now = tick_t;
@@ -722,9 +792,67 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
       continue;
     }
 
+    if (reb_t <= item_t) {
+      // Cross-replica expert rebalancing: push the fleet's currently hottest
+      // experts (by dispatched-profile demand) into every accepting
+      // replica's residency. Each preload is priced as a fetch over the
+      // configured link, charged to the receiving replica's next step --
+      // migrating hot experts toward the shards that will serve them
+      // instead of letting each replica fault them in one miss at a time.
+      advance(reb_t);
+      std::vector<std::pair<std::uint64_t, core::ExpertId>> by_demand;
+      by_demand.reserve(fleet_expert_load.size());
+      for (const auto& [id, count] : fleet_expert_load) by_demand.push_back({count, id});
+      // Hottest first; the map walk above yields ascending ExpertId, and the
+      // stable sort keeps that order within a demand tie -- deterministic.
+      std::stable_sort(by_demand.begin(), by_demand.end(),
+                       [](const auto& a, const auto& b) { return a.first > b.first; });
+      if (by_demand.size() > cfg_.expert.rebalance_hot_experts) {
+        by_demand.resize(cfg_.expert.rebalance_hot_experts);
+      }
+      std::vector<core::ExpertId> hot;
+      hot.reserve(by_demand.size());
+      for (const auto& [count, id] : by_demand) hot.push_back(id);
+      if (!hot.empty()) {
+        for (std::size_t i = 0; i < replicas_.size(); ++i) {
+          Replica& r = replicas_[i];
+          if (r.detected || r.retired) continue;
+          // preload_experts() no-ops on a silently fail-stopped server.
+          const std::size_t fetched = r.server->preload_experts(hot);
+          if (fetched == 0) continue;
+          expert_migrations += fetched;
+          write_through(i);
+          push_calendar(i);
+          if (log) {
+            events.push_back({ClusterEvent::Kind::kExpertRebalance, reb_t, i,
+                              "preloaded " + std::to_string(fetched) +
+                                  " hot expert(s) onto replica" + std::to_string(i)});
+          }
+        }
+      }
+      next_rebalance += cfg_.expert.rebalance_period;
+      continue;
+    }
+
     if (!has_item()) break;
     const Item it = pop_item();
     advance(it.time);
+    phase_begin();
+    Request rq = it.rq;
+    rq.arrival = it.time;  // = the original arrival except for re-dispatches
+    if (expert_on) {
+      // First dispatch derives the profile; a retry/migration keeps the one
+      // it already carries (possibly pruned by an earlier overload).
+      if (rq.expert_profile.empty()) {
+        rq.expert_profile = profiler_->expert_profile_for(
+            rq.id, cfg_.expert.profile_width, cfg_.expert.profile_tokens);
+      }
+      // Fleet demand feeds the rebalance ticks; count the full profile (the
+      // demand exists whether or not pruning later drops part of it).
+      for (const auto& e : rq.expert_profile.experts) {
+        ++fleet_expert_load[core::ExpertId{e.layer, e.expert}];
+      }
+    }
     std::size_t idx;  // the chosen replica
     if (fast) {
       // Fast path: the maintained index IS the eligible list. Detections at
@@ -738,7 +866,7 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
                     "no replica is accepting requests (every replica failed or retired)");
       const std::vector<ReplicaSnapshot>& view =
           ewma_filter && !fast_eligible.empty() ? fast_eligible : eligible;
-      const std::size_t pick = dispatcher.pick(view);
+      const std::size_t pick = dispatcher.pick(view, rq);
       MONDE_REQUIRE(pick < view.size(),
                     "dispatcher picked entry " << pick << " of " << view.size());
       idx = view[pick].replica;
@@ -750,13 +878,20 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
       const std::vector<ReplicaSnapshot> elig =
           eligible_snapshots(snapshots(it.time), cfg_.health.slow_ewma_factor,
                              cfg_.health.heartbeat_timeout.ms());
-      const std::size_t pick = dispatcher.pick(elig);
+      const std::size_t pick = dispatcher.pick(elig, rq);
       MONDE_REQUIRE(pick < elig.size(),
                     "dispatcher picked entry " << pick << " of " << elig.size());
       idx = elig[pick].replica;
     }
-    Request rq = it.rq;
-    rq.arrival = it.time;  // = the original arrival except for re-dispatches
+    // Pruned-expert degraded mode: a request landing on an overloaded
+    // replica is served with a truncated profile -- fewer experts to keep
+    // hot, fewer fetches to price -- instead of queueing at full fidelity.
+    if (expert_on && cfg_.expert.prune_outstanding_tokens > 0 &&
+        replicas_[idx].server->outstanding_tokens() >
+            cfg_.expert.prune_outstanding_tokens &&
+        prune_profile(rq.expert_profile, cfg_.expert.prune_width)) {
+      ++pruned_requests;
+    }
     replicas_[idx].server->enqueue(rq);
     ++replicas_[idx].dispatched;
     write_through(idx);
@@ -780,16 +915,19 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
         ++retries;
       }
     }
+    phase_end(phase_dispatch_s);
   }
   // No further arrivals: replicas finish independently, so each can drain
   // to completion on its own (failed replicas were harvested above). The
   // drains are mutually independent, so they fan out to the pool too; the
   // report below reads the servers only after every drain returned.
+  phase_begin();
   if (pool != nullptr && replicas_.size() > 1) {
     pool->run(replicas_.size(), [&](std::size_t i) { replicas_[i].server->drain(); });
   } else {
     for (Replica& r : replicas_) r.server->drain();
   }
+  phase_end(phase_advance_s);
 
   ClusterReport rep;
   rep.policy = dispatcher.name();
@@ -797,6 +935,11 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
   rep.retries = retries;
   rep.migrations = migrations;
   rep.peak_replicas = peak;
+  rep.expert_migrations = expert_migrations;
+  rep.pruned_requests = pruned_requests;
+  rep.phase_advance_s = phase_advance_s;
+  rep.phase_dispatch_s = phase_dispatch_s;
+  rep.phase_commit_s = phase_commit_s;
   std::stable_sort(events.begin(), events.end(),
                    [](const ClusterEvent& a, const ClusterEvent& b) { return a.time < b.time; });
   rep.events = std::move(events);
@@ -845,6 +988,8 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     const Duration window = rr.alive_until - rr.spawned_at;
     rr.utilization = window > Duration::zero() ? rr.serve.busy / window : 0.0;
     rep.cached_prefill_tokens += rr.serve.cache.saved_tokens;
+    rep.expert_hits += rr.serve.expert_hits;
+    rep.expert_misses += rr.serve.expert_misses;
     total_busy += rr.serve.busy;
     total_alive += window;
     busy_ms.push_back(rr.serve.busy.ms());
@@ -876,6 +1021,10 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
   rep.tokens_per_s = rep.makespan > Duration::zero()
                          ? static_cast<double>(rep.generated_tokens) / rep.makespan.sec()
                          : 0.0;
+  const std::uint64_t expert_total = rep.expert_hits + rep.expert_misses;
+  rep.expert_hit_rate = expert_total == 0 ? 0.0
+                                          : static_cast<double>(rep.expert_hits) /
+                                                static_cast<double>(expert_total);
   return rep;
 }
 

@@ -100,9 +100,11 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "moe/workload.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/autoscale.hpp"
 #include "serve/dispatch.hpp"
+#include "serve/expert.hpp"
 #include "serve/server.hpp"
 
 namespace monde::serve {
@@ -149,6 +151,22 @@ struct ClusterConfig {
   /// replica's unfinished requests -- both priced at the configured
   /// transfer cost per resident token.
   PrefixCacheConfig cache;
+  /// Expert-aware serving (serve/expert.hpp). Disabled by default, which
+  /// pins the expert-oblivious behavior bit-identically. When enabled,
+  /// every dispatched request gets an ExpertProfile from a cluster-level
+  /// profiling WorkloadGenerator (seeded by `expert.profile_seed`), every
+  /// replica prices expert-miss fetches into its steps, gating-aware
+  /// dispatchers read the residency signatures, hot experts are rebalanced
+  /// across the fleet at `expert.rebalance_period`, and the pruned-expert
+  /// degraded mode truncates profiles dispatched onto overloaded replicas.
+  ExpertServingConfig expert;
+  /// Measure per-phase wall-clock (advance / dispatch / commit) into the
+  /// report's phase_*_s fields, for the perf-trend dashboard: the
+  /// advancement phase parallelizes across threads while dispatch and
+  /// commit stay sequential, and these counters show which dominates.
+  /// Off by default -- the steady_clock reads are pure overhead otherwise.
+  /// Simulated results are identical either way.
+  bool measure_phases = false;
   /// Record the scaling/failure timeline (ClusterReport::events), detail
   /// strings included. Off, events are not built at all -- the counters
   /// (retries, migrations, peak_replicas) and every other report field are
@@ -180,6 +198,7 @@ struct ClusterEvent {
     kFailureDetected,  ///< heartbeat monitor declared it dead; harvest + retry
     kRetry,            ///< a stranded request was re-dispatched
     kMigrate,          ///< an evacuated request landed on its new replica
+    kExpertRebalance,  ///< hot experts preloaded across the fleet
   };
   Kind kind{};
   Duration time = Duration::zero();
@@ -237,6 +256,16 @@ struct ClusterReport {
   std::size_t migrations = 0;     ///< scale-down-driven re-dispatches
   /// Prefill tokens served from prefix caches fleet-wide (0 when disabled).
   std::int64_t cached_prefill_tokens = 0;
+  // Expert-aware serving (all-zero when ClusterConfig::expert is disabled):
+  std::uint64_t expert_hits = 0;    ///< fleet-wide resident profile experts at step time
+  std::uint64_t expert_misses = 0;  ///< fleet-wide demand expert fetches
+  double expert_hit_rate = 0.0;     ///< hits / (hits + misses), 0 with no accesses
+  std::size_t expert_migrations = 0;  ///< experts preloaded by rebalance ticks
+  std::size_t pruned_requests = 0;    ///< requests served with a truncated profile
+  // Per-phase wall-clock (0 unless ClusterConfig::measure_phases):
+  double phase_advance_s = 0.0;   ///< replica advancement (parallelizes)
+  double phase_dispatch_s = 0.0;  ///< snapshot refresh + pick + enqueue (sequential)
+  double phase_commit_s = 0.0;    ///< EWMA/index/calendar write-backs (sequential)
   std::vector<ClusterEvent> events;  ///< scaling/failure timeline, time order
 };
 
@@ -292,6 +321,10 @@ class ClusterSim {
   moe::SkewProfile profile_;
   ClusterConfig cfg_;
   std::shared_ptr<ndp::NdpCoreSim> shared_sim_;
+  /// Cluster-level profiling generator (expert-aware serving only): derives
+  /// each request's ExpertProfile on the request's own stream, independent
+  /// of every replica's routing seed so profiles are fleet-global.
+  std::unique_ptr<moe::WorkloadGenerator> profiler_;
   std::vector<Replica> replicas_;
   ReplicaSpec growth_;        ///< template for autoscaled replicas (no faults)
   std::uint64_t next_seed_;   ///< routing seed for the next spawned replica

@@ -1,10 +1,12 @@
 #include "serve/dispatch.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "moe/expert_profile.hpp"
 
 namespace monde::serve {
 namespace {
@@ -76,6 +78,94 @@ class PowerOfTwoChoicesDispatcher final : public Dispatcher {
   Rng rng_;
 };
 
+/// Shared by the gating-aware policies: a power-of-two load spill-over.
+/// Affinity concentrates hot experts, but a popular expert must not melt its
+/// home replica -- so after the affinity choice, probe two random replicas
+/// and defect to the less-loaded probe when the choice carries more than
+/// twice its outstanding tokens. Deterministic given the RNG stream.
+std::size_t spill_over(const std::vector<ReplicaSnapshot>& snapshots, std::size_t choice,
+                       Rng& rng) {
+  const std::size_t n = snapshots.size();
+  if (n < 2) return choice;
+  std::size_t a = static_cast<std::size_t>(rng.next_below(n));
+  std::size_t b = static_cast<std::size_t>(rng.next_below(n - 1));
+  if (b >= a) ++b;
+  if (a > b) std::swap(a, b);
+  const std::size_t probe =
+      snapshots[b].outstanding_tokens < snapshots[a].outstanding_tokens ? b : a;
+  if (snapshots[choice].outstanding_tokens > 2 * snapshots[probe].outstanding_tokens) {
+    return probe;
+  }
+  return choice;
+}
+
+class ExpertAffinityDispatcher final : public Dispatcher {
+ public:
+  explicit ExpertAffinityDispatcher(std::uint64_t seed) : rng_{seed} {}
+
+  [[nodiscard]] std::string name() const override { return "expert-affinity"; }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    return argmin_load(snapshots,
+                       [](const ReplicaSnapshot& s) { return s.outstanding_tokens; });
+  }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots,
+                   const Request& rq) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    if (rq.expert_profile.empty()) return pick(snapshots);
+    // Best hot-set overlap; ties go to the lighter replica, then the lower
+    // index (so an all-cold fleet degenerates to least-outstanding-tokens).
+    std::size_t best = 0;
+    int best_overlap = std::popcount(snapshots[0].expert_sig & rq.expert_profile.signature);
+    for (std::size_t i = 1; i < snapshots.size(); ++i) {
+      const int overlap =
+          std::popcount(snapshots[i].expert_sig & rq.expert_profile.signature);
+      if (overlap > best_overlap ||
+          (overlap == best_overlap &&
+           snapshots[i].outstanding_tokens < snapshots[best].outstanding_tokens)) {
+        best = i;
+        best_overlap = overlap;
+      }
+    }
+    return spill_over(snapshots, best, rng_);
+  }
+
+ private:
+  Rng rng_;
+};
+
+class ExpertShardedDispatcher final : public Dispatcher {
+ public:
+  explicit ExpertShardedDispatcher(std::uint64_t seed) : rng_{seed} {}
+
+  [[nodiscard]] std::string name() const override { return "expert-sharded"; }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    return argmin_load(snapshots,
+                       [](const ReplicaSnapshot& s) { return s.outstanding_tokens; });
+  }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots,
+                   const Request& rq) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    if (rq.expert_profile.empty()) return pick(snapshots);
+    // Partition by the request's primary expert (heaviest of its first
+    // profiled layer): every request leaning on the same heavy expert lands
+    // on the same home shard, so each replica's residency converges to its
+    // partition of the heavy experts.
+    const auto& primary = rq.expert_profile.experts.front();
+    const std::size_t home = static_cast<std::size_t>(
+        moe::expert_signature_bit(primary.layer, primary.expert)) % snapshots.size();
+    return spill_over(snapshots, home, rng_);
+  }
+
+ private:
+  Rng rng_;
+};
+
 }  // namespace
 
 std::string to_string(DispatchPolicy policy) {
@@ -84,6 +174,8 @@ std::string to_string(DispatchPolicy policy) {
     case DispatchPolicy::kJoinShortestQueue: return "join-shortest-queue";
     case DispatchPolicy::kLeastOutstandingTokens: return "least-outstanding-tokens";
     case DispatchPolicy::kPowerOfTwoChoices: return "power-of-two";
+    case DispatchPolicy::kExpertAffinity: return "expert-affinity";
+    case DispatchPolicy::kExpertSharded: return "expert-sharded";
   }
   MONDE_ASSERT(false, "unknown dispatch policy");
   return {};
@@ -129,6 +221,10 @@ std::unique_ptr<Dispatcher> make_dispatcher(DispatchPolicy policy, std::uint64_t
       return std::make_unique<LeastOutstandingTokensDispatcher>();
     case DispatchPolicy::kPowerOfTwoChoices:
       return std::make_unique<PowerOfTwoChoicesDispatcher>(seed);
+    case DispatchPolicy::kExpertAffinity:
+      return std::make_unique<ExpertAffinityDispatcher>(seed);
+    case DispatchPolicy::kExpertSharded:
+      return std::make_unique<ExpertShardedDispatcher>(seed);
   }
   MONDE_ASSERT(false, "unknown dispatch policy");
   return nullptr;

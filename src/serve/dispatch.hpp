@@ -52,6 +52,8 @@
 #include <string>
 #include <vector>
 
+#include "serve/request.hpp"
+
 namespace monde::serve {
 
 enum class DispatchPolicy {
@@ -59,11 +61,18 @@ enum class DispatchPolicy {
   kJoinShortestQueue,
   kLeastOutstandingTokens,
   kPowerOfTwoChoices,
+  // Gating-aware policies (expert-aware serving, serve/expert.hpp). They
+  // read the request's ExpertProfile and the replicas' residency
+  // signatures; with both absent they reduce to least-outstanding-tokens.
+  kExpertAffinity,  ///< best hot-set overlap, power-of-two load spill-over
+  kExpertSharded,   ///< heavy experts hash-partitioned across the fleet
 };
 
 [[nodiscard]] std::string to_string(DispatchPolicy policy);
 
-/// All four policies, in enum order (for benches and tests that sweep them).
+/// The four classic load-only policies, in enum order (for benches and tests
+/// that sweep them; the budget-pinned sweeps rely on this set staying
+/// fixed). The gating-aware policies are opted into explicitly.
 [[nodiscard]] std::vector<DispatchPolicy> all_dispatch_policies();
 
 /// One replica's live load and health as the dispatcher sees it at a
@@ -78,6 +87,11 @@ struct ReplicaSnapshot {
   bool warming = false;         ///< cold-starting: accepts, but steps only after warm-up
   double heartbeat_age_ms = 0;  ///< time since the last successful heartbeat poll
   double step_ewma_ms = 0;      ///< EWMA of recent step durations (0 = no steps yet)
+  /// Compact residency summary: the replica's ExpertCache signature
+  /// (core/expert_cache.hpp), 0 when expert-aware serving is disabled.
+  /// Gating-aware policies AND it with the request's profile signature to
+  /// estimate hot-set overlap in one popcount.
+  std::uint64_t expert_sig = 0;
 };
 
 /// A dispatch policy. pick() is called once per request, in arrival order;
@@ -91,6 +105,16 @@ class Dispatcher {
   /// Chooses the replica for the next request. `snapshots` holds one entry
   /// per replica, in replica order; the returned index refers into it.
   [[nodiscard]] virtual std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) = 0;
+
+  /// Request-aware overload used by the cluster: gating-aware policies read
+  /// the request's expert profile; every load-only policy ignores the
+  /// request and forwards to pick(snapshots), so stock policies behave
+  /// identically through either entry point.
+  [[nodiscard]] virtual std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots,
+                                         const Request& rq) {
+    (void)rq;
+    return pick(snapshots);
+  }
 };
 
 /// Builds a fresh dispatcher. `seed` feeds the randomized policies

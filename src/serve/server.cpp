@@ -5,16 +5,25 @@
 namespace monde::serve {
 
 ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg, Duration start_at,
-                     FaultSpec fault, PrefixCacheConfig cache)
+                     FaultSpec fault, PrefixCacheConfig cache, ExpertServingConfig expert)
     : engine_{engine},
       cfg_{cfg},
       sched_{cfg},
       st_{engine.make_state()},
       start_at_{start_at},
       fault_{fault},
-      cache_{cache} {
+      cache_{cache},
+      expert_{expert},
+      expert_cache_{expert.enabled ? expert.cache_capacity : 0} {
   cfg_.validate();
   fault_.validate();
+  expert_.validate();
+  if (expert_.enabled) {
+    const Bytes bytes = expert_.expert_bytes.count() > 0
+                            ? expert_.expert_bytes
+                            : engine_.workload().model().expert_bytes();
+    expert_fetch_time_ = expert_.fetch_link.transfer_time(bytes);
+  }
   MONDE_REQUIRE(start_at_ >= Duration::zero(), "server cannot boot before t=0");
   MONDE_REQUIRE(fault_.fail_at > start_at_, "fail-stop must lie after the boot instant");
   // Booting at start_at: the clock starts there, so no step can begin
@@ -189,10 +198,45 @@ void ServerSim::step(const std::vector<RequestState*>& newly) {
     st_.now = rec.start + (st_.now - rec.start) * factor;
     pending_end_ = rec.start + (sr.end - rec.start) * factor;
   }
+  // Expert residency: every active request's profiled experts must be hot
+  // for this step. Misses fetch over the configured link and stretch the
+  // step (the decode synchronizes on the weights); rebalance preloads that
+  // arrived since the last step are charged here too. The walk is in
+  // admission order, so the accounting is deterministic.
+  if (expert_.enabled) {
+    const auto& states = sched_.states();
+    for (const std::size_t idx : sched_.active()) {
+      for (const auto& e : states[idx].request.expert_profile.experts) {
+        const core::ExpertId id{e.layer, e.expert};
+        if (!expert_cache_.access(id)) {
+          expert_cache_.insert(id);
+          ++rec.expert_misses;
+        }
+      }
+    }
+    rec.expert_fetch = expert_fetch_time_ * static_cast<double>(rec.expert_misses) +
+                       pending_preload_;
+    pending_preload_ = Duration::zero();
+    st_.now += rec.expert_fetch;
+    pending_end_ += rec.expert_fetch;
+  }
   rec.decode_tokens = static_cast<std::int64_t>(slots.size());
   rec.end = st_.now;
   busy_ += rec.end - rec.start;
   steps_.push_back(rec);
+}
+
+std::size_t ServerSim::preload_experts(const std::vector<core::ExpertId>& ids) {
+  if (!expert_.enabled || failed_ || harvested_) return 0;
+  std::size_t fetched = 0;
+  for (const core::ExpertId& id : ids) {
+    if (expert_cache_.contains(id)) continue;
+    expert_cache_.insert(id);
+    pending_preload_ += expert_fetch_time_;
+    ++fetched;
+  }
+  if (fetched > 0) touch();
+  return fetched;
 }
 
 ServeReport ServerSim::report() const {
@@ -238,6 +282,10 @@ ServeReport ServerSim::report() const {
                                   report.makespan.sec()
                             : 0.0;
   report.cache = cache_.stats();
+  report.expert_hits = expert_cache_.hits();
+  report.expert_misses = expert_cache_.misses();
+  report.expert_hit_rate = expert_cache_.hit_rate();
+  report.resident_experts = expert_cache_.size();
   return report;
 }
 

@@ -71,6 +71,8 @@
 
 #include "common/stats.hpp"
 #include "core/engine.hpp"
+#include "core/expert_cache.hpp"
+#include "serve/expert.hpp"
 #include "serve/fault.hpp"
 #include "serve/kvcache.hpp"
 #include "serve/scheduler.hpp"
@@ -85,6 +87,8 @@ struct StepRecord {
   std::int64_t prefill_tokens = 0;  ///< prompt tokens prefilled this step
   std::int64_t decode_tokens = 0;   ///< decode slots (incl. fixed-mode padding)
   std::int64_t cached_tokens = 0;   ///< prompt tokens served from the prefix cache
+  std::int64_t expert_misses = 0;   ///< expert fetches priced into this step
+  Duration expert_fetch = Duration::zero();  ///< fetch time added to the step span
 };
 
 /// Final per-request latency accounting. `arrival` is the instant the
@@ -135,6 +139,11 @@ struct ServeReport {
   Percentiles tpot_ms;
   Percentiles e2e_ms;
   PrefixCacheStats cache;  ///< prefix-cache counters (all-zero when disabled)
+  // Expert residency (all-zero when expert-aware serving is disabled):
+  std::uint64_t expert_hits = 0;    ///< profile experts found resident at step time
+  std::uint64_t expert_misses = 0;  ///< profile experts fetched (priced into steps)
+  double expert_hit_rate = 0.0;     ///< hits / (hits + misses), 0 with no accesses
+  std::size_t resident_experts = 0; ///< experts hot at the end of the run
 };
 
 /// Drives one InferenceEngine through a request trace under one scheduler.
@@ -145,10 +154,12 @@ class ServerSim {
   /// earlier; enqueues are accepted at any time); `fault` is the replica's
   /// fault plan -- a fail-stop must lie strictly after `start_at`; `cache`
   /// configures the replica's prefix/KV cache (disabled by default, which
-  /// keeps the server bit-identical to the cache-less behavior).
+  /// keeps the server bit-identical to the cache-less behavior); `expert`
+  /// configures the replica's expert residency (serve/expert.hpp) -- also
+  /// disabled by default with the same bit-identity guarantee.
   ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg,
             Duration start_at = Duration::zero(), FaultSpec fault = {},
-            PrefixCacheConfig cache = {});
+            PrefixCacheConfig cache = {}, ExpertServingConfig expert = {});
 
   // --- Incremental event API (what a cluster dispatcher drives) -----------
 
@@ -237,6 +248,21 @@ class ServerSim {
   /// The replica's prefix/KV cache (inert when disabled in the config).
   [[nodiscard]] const KvCache& kv_cache() const { return cache_; }
 
+  /// The replica's expert residency (empty when expert serving is disabled).
+  [[nodiscard]] const core::ExpertCache& expert_cache() const { return expert_cache_; }
+
+  /// Compact residency summary for dispatch snapshots: the expert cache's
+  /// 64-bit signature, 0 while nothing is resident (or serving disabled).
+  [[nodiscard]] std::uint64_t expert_signature() const { return expert_cache_.signature(); }
+
+  /// Cross-replica rebalancing entry point: make `ids` resident, evicting
+  /// LRU experts as needed. Each newly fetched expert's transfer time is
+  /// accumulated and charged to the NEXT step this replica runs (the
+  /// preload rides the link while the replica keeps serving; the step that
+  /// wants the weights synchronizes on them). Returns the number fetched;
+  /// a no-op on a failed/evacuated server or with expert serving disabled.
+  std::size_t preload_experts(const std::vector<core::ExpertId>& ids);
+
   /// Metrics for everything served so far. Requires drained().
   [[nodiscard]] ServeReport report() const;
 
@@ -271,6 +297,10 @@ class ServerSim {
   Duration start_at_ = Duration::zero();
   FaultSpec fault_;
   KvCache cache_;
+  ExpertServingConfig expert_;
+  core::ExpertCache expert_cache_;  ///< capacity 0 (inert) when disabled
+  Duration expert_fetch_time_ = Duration::zero();  ///< per-expert miss cost
+  Duration pending_preload_ = Duration::zero();    ///< rebalance fetches awaiting a step
   /// Admissions of the in-flight step, held back until its completion
   /// applies: a fail-stop that discards the step must not credit the cache
   /// with hits (or pin state) for work that died with the node.

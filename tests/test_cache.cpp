@@ -1,8 +1,11 @@
 // Unit tests for the GPU-resident ExpertCache: LRU eviction order under
-// interleaved access/insert, capacity-0 behaviour, and hit-rate accounting.
+// interleaved access/insert, capacity-0 behaviour, hit-rate accounting,
+// stats_reset(), and the residency signature maintained for gating-aware
+// dispatch.
 #include <gtest/gtest.h>
 
 #include "core/expert_cache.hpp"
+#include "moe/expert_profile.hpp"
 
 namespace monde::core {
 namespace {
@@ -76,6 +79,74 @@ TEST(ExpertCache, HitRateAccounting) {
   EXPECT_EQ(cache.misses(), 2u);
   EXPECT_FALSE(cache.access(id(0, 0)));  // contents really gone
   EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(ExpertCache, StatsResetZeroesCountersButKeepsContents) {
+  ExpertCache cache{2};
+  EXPECT_FALSE(cache.access(id(0, 0)));  // miss
+  cache.insert(id(0, 0));
+  EXPECT_TRUE(cache.access(id(0, 0)));  // hit
+  cache.stats_reset();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+  // Contents and recency survive: the resident expert still hits.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.access(id(0, 0)));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 1.0);
+}
+
+TEST(ExpertCache, SignatureTracksResidency) {
+  ExpertCache cache{2};
+  EXPECT_EQ(cache.signature(), 0u);
+  cache.insert(id(0, 1));
+  const std::uint64_t bit01 = std::uint64_t{1} << moe::expert_signature_bit(0, 1);
+  EXPECT_EQ(cache.signature(), bit01);
+  // Re-inserting a resident expert leaves the signature unchanged.
+  cache.insert(id(0, 1));
+  EXPECT_EQ(cache.signature(), bit01);
+
+  cache.insert(id(0, 2));
+  const std::uint64_t bit02 = std::uint64_t{1} << moe::expert_signature_bit(0, 2);
+  EXPECT_EQ(cache.signature(), bit01 | bit02);
+
+  // Evicting the LRU (0,1) clears its bit; inserting (0,3) sets its own.
+  cache.insert(id(0, 3));
+  const std::uint64_t bit03 = std::uint64_t{1} << moe::expert_signature_bit(0, 3);
+  EXPECT_EQ(cache.signature(), bit02 | bit03);
+
+  cache.clear();
+  EXPECT_EQ(cache.signature(), 0u);
+}
+
+TEST(ExpertCache, SignatureRefcountsCollidingExperts) {
+  // Two distinct experts that hash to the same signature bit: the bit must
+  // stay set until BOTH leave. Find a colliding pair by brute force.
+  const int target = moe::expert_signature_bit(0, 0);
+  int other_layer = -1, other_expert = -1;
+  for (int l = 0; l < 64 && other_layer < 0; ++l) {
+    for (int e = 0; e < 64; ++e) {
+      if (l == 0 && e == 0) continue;
+      if (moe::expert_signature_bit(l, e) == target) {
+        other_layer = l;
+        other_expert = e;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(other_layer, 0) << "no colliding pair in a 64x64 sweep";
+
+  ExpertCache cache{2};
+  cache.insert(id(0, 0));
+  cache.insert(id(other_layer, other_expert));
+  const std::uint64_t bit = std::uint64_t{1} << target;
+  EXPECT_EQ(cache.signature() & bit, bit);
+  cache.insert(id(1, 1));  // evicts (0,0); the collider keeps the bit alive
+  EXPECT_EQ(cache.signature() & bit, bit);
+  cache.insert(id(1, 2));  // evicts the collider; now the bit drops
+  EXPECT_EQ(cache.signature() & bit, 0u);
 }
 
 }  // namespace

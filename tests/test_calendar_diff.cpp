@@ -74,6 +74,8 @@ void expect_reports_identical(const ClusterReport& a, const ClusterReport& b) {
     EXPECT_EQ(x.serve.generated_tokens, y.serve.generated_tokens) << x.name;
     EXPECT_EQ(x.serve.steps.size(), y.serve.steps.size()) << x.name;
     EXPECT_EQ(x.serve.cache.saved_tokens, y.serve.cache.saved_tokens) << x.name;
+    EXPECT_EQ(x.serve.expert_hits, y.serve.expert_hits) << x.name;
+    EXPECT_EQ(x.serve.expert_misses, y.serve.expert_misses) << x.name;
   }
   EXPECT_EQ(a.makespan, b.makespan);
   EXPECT_EQ(a.generated_tokens, b.generated_tokens);
@@ -92,6 +94,11 @@ void expect_reports_identical(const ClusterReport& a, const ClusterReport& b) {
   EXPECT_EQ(a.retries, b.retries);
   EXPECT_EQ(a.migrations, b.migrations);
   EXPECT_EQ(a.cached_prefill_tokens, b.cached_prefill_tokens);
+  EXPECT_EQ(a.expert_hits, b.expert_hits);
+  EXPECT_EQ(a.expert_misses, b.expert_misses);
+  EXPECT_EQ(a.expert_hit_rate, b.expert_hit_rate);
+  EXPECT_EQ(a.expert_migrations, b.expert_migrations);
+  EXPECT_EQ(a.pruned_requests, b.pruned_requests);
   ASSERT_EQ(a.events.size(), b.events.size());
   for (std::size_t i = 0; i < a.events.size(); ++i) {
     EXPECT_EQ(a.events[i].kind, b.events[i].kind) << "event " << i;
@@ -261,6 +268,75 @@ TEST(CalendarDiff, SlowEwmaFilterWithFailuresAndAutoscale) {
   expect_loops_agree(sc);
 }
 
+// --- Expert-aware serving (profiles, residency, rebalance, pruning) ---------
+
+/// The expert configuration exercised by the diff scenarios: every moving
+/// part on at once -- small caches, a rebalance tick, and the pruned
+/// degraded mode -- so the calendar loop must reproduce all of it.
+ExpertServingConfig diff_expert_config() {
+  ExpertServingConfig e;
+  e.enabled = true;
+  e.cache_capacity = 6;
+  e.rebalance_period = Duration::millis(10);
+  e.rebalance_hot_experts = 3;
+  e.prune_outstanding_tokens = 64;
+  return e;
+}
+
+TEST(CalendarDiff, ExpertAffinityServingAgrees) {
+  Scenario sc;
+  sc.trace = poisson_trace(32, 300.0, small_shape(), 21);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.cfg.expert = diff_expert_config();
+  sc.policy = DispatchPolicy::kExpertAffinity;
+  expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, ExpertShardedServingAgrees) {
+  Scenario sc;
+  sc.trace = poisson_trace(32, 300.0, small_shape(), 21);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.cfg.expert = diff_expert_config();
+  sc.policy = DispatchPolicy::kExpertSharded;
+  expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, ExpertServingWithFailuresAndAutoscale) {
+  // Residency + rebalance under membership churn: a fail-stop mid-trace and
+  // an autoscaler spawning/retiring around it. Rebalance preloads must skip
+  // dead/retired replicas identically in both loops.
+  Scenario sc;
+  sc.trace = bursty_trace(28, 7, Duration::millis(25), small_shape(), 19);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[1].fault.fail_at = Duration::millis(35);
+  sc.cfg.expert = diff_expert_config();
+  sc.cfg.retry_timeout = Duration::millis(2);
+  sc.cfg.warmup = Duration::millis(2);
+  sc.cfg.autoscale_period = Duration::millis(3);
+  sc.policy = DispatchPolicy::kExpertAffinity;
+  sc.autoscaled = true;
+  sc.autoscale.min_replicas = 2;
+  sc.autoscale.max_replicas = 5;
+  sc.autoscale.high_tokens_per_replica = 96;
+  sc.autoscale.low_tokens_per_replica = 8;
+  expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, ExpertDisabledConfigIsInert) {
+  // A disabled expert config -- even with every other knob tuned -- must
+  // leave the run bit-identical to a default-constructed one: the off
+  // switch pins the expert-oblivious behavior.
+  Scenario plain;
+  plain.trace = poisson_trace(24, 90.0, small_shape(), 21);
+  plain.specs = uniform_fleet(4, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  plain.policy = DispatchPolicy::kLeastOutstandingTokens;
+  Scenario tuned = plain;
+  tuned.cfg.expert = diff_expert_config();
+  tuned.cfg.expert.enabled = false;
+  expect_reports_identical(run_scenario(plain, /*reference_loop=*/false),
+                           run_scenario(tuned, /*reference_loop=*/false));
+}
+
 // --- Parallel advancement (PR 7): 1/2/4/8 threads vs the reference ----------
 
 TEST(ParallelDiff, PlainFleetAllPolicies) {
@@ -322,6 +398,15 @@ TEST(ParallelDiff, PrefixCacheSurvivalAndMigration) {
   sc.autoscale.max_replicas = 4;
   sc.autoscale.high_tokens_per_replica = 1 << 20;
   sc.autoscale.low_tokens_per_replica = 1 << 19;
+  expect_threads_agree(sc);
+}
+
+TEST(ParallelDiff, ExpertServingAcrossThreads) {
+  Scenario sc;
+  sc.trace = poisson_trace(32, 300.0, small_shape(), 21);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.cfg.expert = diff_expert_config();
+  sc.policy = DispatchPolicy::kExpertAffinity;
   expect_threads_agree(sc);
 }
 

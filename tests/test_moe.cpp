@@ -153,6 +153,65 @@ TEST(Gating, ReproducesFigure3Histogram) {
   EXPECT_NEAR(h.total(), 128.0, 1e-6);    // all experts accounted for
 }
 
+TEST(Gating, SwitchLikeHistogramShape) {
+  // Figure-3-style bucket histogram for the Switch top-1 preset: 4 heavy
+  // experts in the 128+ bucket, the warm tier in the tens, and a flat-ish
+  // cold tail -- milder skew than NLLB's two-expert concentration.
+  const SkewProfile prof = SkewProfile::switch_like();
+  EXPECT_EQ(prof.num_heavy, 4);
+  EXPECT_DOUBLE_EQ(prof.dead_fraction, 0.0);  // no dead tier in this preset
+  Histogram h = make_token_histogram();
+  const int batches = 30;
+  for (int b = 0; b < batches; ++b) {
+    WorkloadGenerator gen{MoeModelConfig::switch_large_128(), prof,
+                          200 + static_cast<std::uint64_t>(b)};
+    const auto pass = gen.encoder_pass(4, 512);
+    for (const auto c : pass.moe_layers[0].tokens_per_expert) {
+      h.add(static_cast<double>(c));
+    }
+  }
+  h.scale(1.0 / batches);
+  EXPECT_NEAR(h.bucket(7), 4.0, 1.5);   // 128+: the heavy experts
+  EXPECT_LT(h.bucket(0), 10.0);         // no dead tier -> few zero experts
+  EXPECT_GT(h.bucket(1) + h.bucket(2), 60.0);  // 1-7 tokens: cold majority
+  EXPECT_NEAR(h.total(), 128.0, 1e-6);  // all experts accounted for
+}
+
+TEST(Gating, DeadFractionGrowsTheZeroBucketAndDeadScaleSoftensIt) {
+  // dead_fraction marks the lowest-ranked tail experts as (near-)dead;
+  // dead_scale is their weight multiplier. At scale 0 they are truly dead
+  // and the Figure 3 zero-token bucket inflates by exactly that cohort; at
+  // scale 1 the "dead" tier is indistinguishable from the live tail.
+  const auto zero_bucket = [](const SkewProfile& prof) {
+    Histogram h = make_token_histogram();
+    const int batches = 30;
+    for (int b = 0; b < batches; ++b) {
+      WorkloadGenerator gen{MoeModelConfig::switch_large_128(), prof,
+                            300 + static_cast<std::uint64_t>(b)};
+      const auto pass = gen.encoder_pass(4, 512);
+      for (const auto c : pass.moe_layers[0].tokens_per_expert) {
+        h.add(static_cast<double>(c));
+      }
+    }
+    h.scale(1.0 / batches);
+    return h.bucket(0);
+  };
+  const SkewProfile alive = SkewProfile::switch_like();
+  SkewProfile dead = alive;
+  dead.dead_fraction = 0.25;
+  dead.dead_scale = 0.0;
+  const double z_alive = zero_bucket(alive);
+  const double z_dead = zero_bucket(dead);
+  // 25% of the 118 tail experts (= 29) carry zero weight: every batch, all
+  // of them land in the zero bucket, on top of the sampling zeros.
+  EXPECT_GE(z_dead, 29.0);
+  EXPECT_GT(z_dead, z_alive + 20.0);
+  // dead_scale -> 1 restores the live-tail behavior.
+  SkewProfile faint = dead;
+  faint.dead_scale = 1.0;
+  EXPECT_NEAR(zero_bucket(faint), z_alive, 8.0);
+}
+
 TEST(Gating, HotExpertsAbsorbMostTokens) {
   WorkloadGenerator gen{MoeModelConfig::nllb_moe_128(), SkewProfile::nllb_like(), 42};
   const auto pass = gen.encoder_pass(4, 512);
