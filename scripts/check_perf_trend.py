@@ -7,16 +7,19 @@ different treatment: every nightly serve-scale-full run appends its measured
 runtime (a `--perf` record: {"bench", "threads", "wall_s"} plus optional
 per-phase keys "advance_s"/"dispatch_s"/"commit_s") to a retained history
 file, and this script gates the newest sample against the trailing median of
-its own (bench, threads) group. The phase split is display-only -- it shows
-where the wall-clock went (parallel advancement vs sequential dispatch and
-commit) but never gates; only total wall_s does. A slow sample on an unlucky
-runner widens the band once; a real slowdown shifts every subsequent sample
-and trips the gate.
+its own (bench, threads) group. The phase split shows where the wall-clock
+went (parallel advancement vs sequential dispatch and commit); by default it
+is display-only, but --max-phase-share turns it into a gate: a sequential
+phase swelling past its share cap fails the run even when total wall_s still
+squeaks under the regression band. A slow sample on an unlucky runner widens
+the band once; a real slowdown shifts every subsequent sample and trips the
+gate.
 
 Usage:
     check_perf_trend.py --history perf_history.jsonl --add run1.perf.json...
     check_perf_trend.py --history perf_history.jsonl            # check only
     check_perf_trend.py ... --require-speedup serve_scale_full:8:1:2.0
+    check_perf_trend.py ... --max-phase-share serve_scale_full:8:dispatch_s:0.25
 
 The trend table goes to stdout and, when $GITHUB_STEP_SUMMARY is set, to
 the job summary. Gating rules:
@@ -28,6 +31,12 @@ the job summary. Gating rules:
     newest BENCH sample at FAST threads to be at least RATIO x faster than
     the newest at BASE threads -- the parallel-advancement acceptance
     criterion, e.g. serve_scale_full:8:1:2.0.
+  * phase share (opt-in): --max-phase-share BENCH:THREADS:PHASE:SHARE caps
+    PHASE (advance_s / dispatch_s / commit_s) at SHARE of the newest
+    sample's wall_s. Dispatch and commit run sequentially, so a dispatch-
+    phase blowup at 8 threads silently erodes the parallel speedup long
+    before total wall-clock trips the 25% band -- this catches it the
+    night it lands.
 """
 
 import argparse
@@ -159,12 +168,44 @@ def check_speedup(entries, spec):
     return None
 
 
+def check_phase_share(entries, spec):
+    bench, threads, phase, max_share = spec
+    newest = None
+    for entry in entries:
+        if entry["bench"] == bench and int(entry["threads"]) == threads:
+            newest = entry
+    if newest is None:
+        return (f"{bench}: --max-phase-share needs a sample at "
+                f"threads={threads}; none in history")
+    if phase not in newest:
+        return (f"{bench} threads={threads}: newest sample carries no "
+                f"'{phase}' (bench must run with phase measurement on)")
+    share = newest[phase] / newest["wall_s"]
+    print(f"  {bench} t{threads}: {phase} {newest[phase]:.1f}s / wall "
+          f"{newest['wall_s']:.1f}s = {100 * share:.1f}% "
+          f"(max {100 * max_share:.0f}%)")
+    if share > max_share:
+        return (f"{bench} threads={threads}: {phase} is {100 * share:.1f}% "
+                f"of wall-clock (max {100 * max_share:.0f}%) -- the "
+                f"sequential phase is eating the parallel speedup")
+    return None
+
+
 def parse_speedup(text):
     parts = text.split(":")
     if len(parts) != 4:
         raise argparse.ArgumentTypeError(
             "expected BENCH:FAST_THREADS:BASE_THREADS:MIN_RATIO")
     return (parts[0], int(parts[1]), int(parts[2]), float(parts[3]))
+
+
+def parse_phase_share(text):
+    parts = text.split(":")
+    if len(parts) != 4 or parts[2] not in PHASE_KEYS:
+        raise argparse.ArgumentTypeError(
+            "expected BENCH:THREADS:PHASE:MAX_SHARE with PHASE one of "
+            + "/".join(PHASE_KEYS))
+    return (parts[0], int(parts[1]), parts[2], float(parts[3]))
 
 
 def main():
@@ -183,6 +224,11 @@ def main():
                         metavar="BENCH:FAST:BASE:RATIO",
                         help="require the newest FAST-threads sample to beat the "
                         "newest BASE-threads sample by RATIO x")
+    parser.add_argument("--max-phase-share", type=parse_phase_share,
+                        action="append", default=[],
+                        metavar="BENCH:THREADS:PHASE:SHARE",
+                        help="cap PHASE at SHARE of the newest sample's "
+                        "wall_s for that bench+threads group (repeatable)")
     args = parser.parse_args()
 
     if args.add:
@@ -211,6 +257,12 @@ def main():
         failure = check_speedup(entries, args.require_speedup)
         if failure:
             failures.append(failure)
+    if args.max_phase_share:
+        print("phase-share gate:")
+        for spec in args.max_phase_share:
+            failure = check_phase_share(entries, spec)
+            if failure:
+                failures.append(failure)
     if failures:
         print(f"perf trend check FAILED ({len(failures)} violation(s)):")
         for failure in failures:

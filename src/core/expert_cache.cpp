@@ -46,6 +46,14 @@ void ExpertCache::signature_remove(ExpertId id) {
   if (--bit_counts_[bit] == 0) signature_ &= ~(std::uint64_t{1} << bit);
 }
 
+void ExpertCache::erase(ExpertId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  signature_remove(id);
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
 void ExpertCache::stats_reset() {
   hits_ = 0;
   misses_ = 0;

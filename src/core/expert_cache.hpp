@@ -66,6 +66,12 @@ class ExpertCache {
   /// to estimate hot-set overlap without walking the cache.
   [[nodiscard]] std::uint64_t signature() const { return signature_; }
 
+  /// Drop one expert outright -- no recency refresh, no hit/miss accounting.
+  /// The serving layer's residency refcounts (serve/server.hpp) use this to
+  /// evict experts whose last referencing request migrated off the replica,
+  /// so the demand re-homes with the request. No-op when absent.
+  void erase(ExpertId id);
+
   /// Zero the hit/miss counters without touching the resident set, so a
   /// steady-state window can be measured after warmup.
   void stats_reset();

@@ -36,6 +36,7 @@ void ClusterConfig::validate() const {
   MONDE_REQUIRE(threads >= 1, "threads must be >= 1 (the calling thread counts)");
   cache.validate();
   expert.validate();
+  disagg.validate();
 }
 
 std::string to_string(ClusterEvent::Kind kind) {
@@ -47,6 +48,7 @@ std::string to_string(ClusterEvent::Kind kind) {
     case ClusterEvent::Kind::kRetry: return "retry";
     case ClusterEvent::Kind::kMigrate: return "migrate";
     case ClusterEvent::Kind::kExpertRebalance: return "expert-rebalance";
+    case ClusterEvent::Kind::kHandoff: return "handoff";
   }
   MONDE_ASSERT(false, "unknown cluster event kind");
   return {};
@@ -66,11 +68,22 @@ ClusterSim::ClusterSim(const core::SystemConfig& sys, const moe::MoeModelConfig&
     profiler_ = std::make_unique<moe::WorkloadGenerator>(model_, profile_,
                                                          cfg_.expert.profile_seed);
   }
+  if (cfg_.disagg.enabled) {
+    MONDE_REQUIRE(specs.size() > cfg_.disagg.prefill_replicas,
+                  "disaggregated serving needs at least one decode replica beyond the "
+                      << cfg_.disagg.prefill_replicas << " prefill replica(s)");
+    for (const ReplicaSpec& spec : specs) {
+      MONDE_REQUIRE(spec.sched.mode == BatchingMode::kContinuous,
+                    "disaggregated serving requires continuous batching on every "
+                    "replica (a fixed batch cannot release requests mid-batch)");
+    }
+  }
   replicas_.reserve(specs.size());
   next_seed_ = 0;
-  for (const ReplicaSpec& spec : specs) {
-    add_replica(spec, Duration::zero(), Duration::zero());
-    next_seed_ = std::max(next_seed_, spec.seed + 1);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    add_replica(specs[i], Duration::zero(), Duration::zero(),
+                cfg_.disagg.enabled && i < cfg_.disagg.prefill_replicas);
+    next_seed_ = std::max(next_seed_, specs[i].seed + 1);
   }
   // Autoscaled replicas clone the first spec, faults cleared: an injected
   // fault plan describes a *specific* node, not replacement capacity.
@@ -79,14 +92,16 @@ ClusterSim::ClusterSim(const core::SystemConfig& sys, const moe::MoeModelConfig&
 }
 
 void ClusterSim::add_replica(const ReplicaSpec& spec, Duration spawned_at,
-                             Duration start_at) {
+                             Duration start_at, bool prefill) {
   Replica r;
   r.engine = std::make_unique<core::InferenceEngine>(sys_, model_, profile_, spec.strategy,
                                                      spec.seed, shared_sim_);
   r.server = std::make_unique<ServerSim>(*r.engine, spec.sched, start_at, spec.fault,
-                                         cfg_.cache, cfg_.expert);
+                                         cfg_.cache, cfg_.expert, cfg_.disagg, prefill);
+  r.prefill = prefill;
   r.name = "replica" + std::to_string(replicas_.size()) + " (" +
            r.engine->strategy().name() + ")";
+  if (prefill) r.name += " [prefill]";
   r.spawned_at = spawned_at;
   if (spec.fault.fail_stop()) {
     r.detect_at = failure_detection_time(spec.fault.fail_at, cfg_.health);
@@ -117,7 +132,8 @@ std::vector<ReplicaSnapshot> ClusterSim::snapshots(Duration now) const {
                                                         cfg_.health))
                                    .ms(),
                                r.ewma_ms,
-                               r.server->expert_signature()};
+                               r.server->expert_signature(),
+                               r.prefill};
   }
   return snaps;
 }
@@ -191,6 +207,7 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     Duration time;
     Request rq;
     bool migrated = false;  ///< re-dispatch came from a retirement, not a failure
+    bool handoff = false;   ///< prefill-complete handoff bound for the decode pool
   };
   const auto later = [](const Item& a, const Item& b) {
     return a.time != b.time ? a.time > b.time : a.rq.id > b.rq.id;
@@ -217,6 +234,32 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     Item it = pending.top();
     pending.pop();
     return it;
+  };
+
+  // --- Prefill->decode handoffs (disaggregated serving) -------------------
+  // A prefill replica buffers a HandoffRecord the moment a request's
+  // admission step completes (inside advance_to, possibly on a worker
+  // thread); the cluster drains the buffer at the sequential commit that
+  // follows every advance, turning each record into a decode-pool
+  // re-dispatch item at `release + transfer`. That instant is clamped to a
+  // floor that never precedes an already-popped item (the advance target at
+  // fleet-wide commits; the last-popped time when only the prefill pool
+  // advanced), so the global (time, id) pop order -- and with it the
+  // per-replica (arrival, id) enqueue contract -- survives releases
+  // discovered mid-event. Releases almost always surface through the
+  // prefill-pool anchor below, which advances no decode replica and so can
+  // afford the loose floor; the fleet-wide commits only catch releases
+  // landing exactly on an external anchor, where the tight clamp is exact.
+  const bool disagg_on = cfg_.disagg.enabled;
+  Duration last_pop = Duration::zero();  // latest item the loop dispatched
+  const auto drain_handoffs = [&](std::size_t i, Duration apply_until, Duration floor) {
+    if (!disagg_on || !replicas_[i].prefill) return;
+    for (HandoffRecord& h : replicas_[i].server->take_handoffs(apply_until)) {
+      Request rq = std::move(h.request);
+      ++rq.attempt;
+      pending.push(Item{monde::max(h.release + h.transfer, floor), std::move(rq),
+                        /*migrated=*/false, /*handoff=*/true});
+    }
   };
 
   // --- Event calendar (fast mode): per-replica server events --------------
@@ -292,7 +335,8 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
                                                     cfg_.health))
                                .ms(),
                            r.ewma_ms,
-                           r.server->expert_signature()};
+                           r.server->expert_signature(),
+                           r.prefill};
   };
 
   // --- Incremental slow-EWMA filter (finite factor only) ------------------
@@ -500,8 +544,12 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
   };
 
   // --- Fleet advancement ---------------------------------------------------
-  const auto commit_one = [&](std::size_t i) {
+  // The handoff drain sits between the EWMA fold and the index/calendar
+  // write-backs: taking the buffer may mutate the server (version bump), so
+  // the calendar entry must be pushed after.
+  const auto commit_one = [&](std::size_t i, Duration t) {
     update_ewma(replicas_[i]);
+    drain_handoffs(i, t, t);
     write_through(i);
     push_calendar(i);
   };
@@ -552,7 +600,7 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     }
     phase_end(phase_advance_s);
     phase_begin();
-    for (const std::size_t i : batch) commit_one(i);
+    for (const std::size_t i : batch) commit_one(i, t);
     phase_end(phase_commit_s);
   };
   const auto advance = [&](Duration t) {
@@ -561,19 +609,71 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
       return;
     }
     phase_begin();
-    for (Replica& r : replicas_) {
-      r.server->advance_to(t);
-      update_ewma(r);
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      replicas_[i].server->advance_to(t);
+      update_ewma(replicas_[i]);
+      // Same ascending-index drain order as the fast loop's commit phase;
+      // the heap re-sorts the pushed items, so interleaving is immaterial.
+      drain_handoffs(i, t, t);
     }
     phase_end(phase_advance_s);
+  };
+
+  // With disaggregation, prefill completions are cluster events in their own
+  // right: each release spawns a decode-pool re-dispatch, and waiting for the
+  // next arrival/detection/tick to surface it would delay the handoff by the
+  // whole inter-anchor gap. When the earliest event among live prefill
+  // replicas precedes every external anchor, run ONLY the prefill pool
+  // forward to that anchor and convert its releases at their true release
+  // times. Decode replicas stay put, so a surfaced item earlier than the
+  // external anchor is dispatched into a decode replica whose clock has not
+  // yet passed it -- causality holds. Progress is guaranteed: afterwards
+  // every live prefill replica's next event is at or beyond the horizon, so
+  // the branch cannot re-fire until new prefill work (an item) is dispatched.
+  const auto advance_prefill_to = [&](Duration horizon) {
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      Replica& r = replicas_[i];
+      if (!r.prefill || r.detected) continue;
+      phase_begin();
+      r.server->advance_to(horizon);
+      phase_end(phase_advance_s);
+      phase_begin();
+      update_ewma(r);
+      drain_handoffs(i, horizon, last_pop);
+      write_through(i);
+      push_calendar(i);
+      phase_end(phase_commit_s);
+    }
   };
 
   const bool log = cfg_.event_log_enabled;
   std::vector<ClusterEvent> events;
   std::size_t retries = 0;
   std::size_t migrations = 0;
+  std::size_t handoffs = 0;
   std::size_t peak = accepting_count();
   Duration next_tick = cfg_.autoscale_period;
+  // Boot-time pool shares (disaggregated autoscaling grows the pool furthest
+  // below its share). run() is called once, so replicas_ is the boot fleet.
+  const std::size_t boot_prefill = disagg_on ? cfg_.disagg.prefill_replicas : 0;
+  const std::size_t boot_decode = disagg_on ? replicas_.size() - boot_prefill : 0;
+
+  // Role routing (disaggregated serving): the pool filter applies after the
+  // health/EWMA filter. If the soft EWMA filter left the needed pool empty,
+  // fall back to the full accepting set before declaring the pool gone.
+  const auto disagg_view = [&](const std::vector<ReplicaSnapshot>& filtered,
+                               const auto& accepting_fn, const Request& rq) {
+    const bool want_prefill = !rq.decode_phase();
+    std::vector<ReplicaSnapshot> pool =
+        pool_snapshots(filtered, want_prefill, cfg_.disagg.decode_admit_tokens);
+    if (pool.empty()) {
+      pool = pool_snapshots(accepting_fn(), want_prefill,
+                            cfg_.disagg.decode_admit_tokens);
+    }
+    MONDE_REQUIRE(!pool.empty(), "no " << (want_prefill ? "prefill" : "decode")
+                                       << " replica is accepting requests");
+    return pool;
+  };
 
   // --- Expert-aware serving state (inert when disabled) --------------------
   const bool expert_on = cfg_.expert.enabled;
@@ -657,9 +757,35 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     // stream and retry queue are empty, residency can no longer help anyone.
     const Duration reb_t = (rebalance_on && has_item()) ? next_rebalance
                                                         : Duration::infinite();
+    // Earliest prefill-internal event (admission start, step boundary, or an
+    // already-buffered release awaiting drain). Finite only with
+    // disaggregation on; infinite anchors never win a strict comparison.
+    Duration ho_t = Duration::infinite();
+    if (disagg_on) {
+      for (const Replica& r : replicas_) {
+        if (!r.prefill || r.detected) continue;
+        ho_t = monde::min(ho_t, r.server->next_event_time());
+        if (r.server->has_handoffs()) ho_t = monde::min(ho_t, last_pop);
+      }
+    }
+
+    if (disagg_on && ho_t < det_t && ho_t < item_t && ho_t < tick_t &&
+        ho_t < reb_t) {
+      // The prefill pool owns every fleet event until the next external
+      // anchor: run it to that horizon and surface its releases. With no
+      // external anchor left (all infinite) this drains the prefill tail
+      // outright; new handoff items re-arm the item branch.
+      advance_prefill_to(
+          monde::min(monde::min(det_t, item_t), monde::min(tick_t, reb_t)));
+      continue;
+    }
 
     if (det_t <= item_t && det_t <= tick_t && det_t <= reb_t) {
-      if (det_t == Duration::infinite()) break;  // nothing left to do
+      if (det_t == Duration::infinite()) {
+        // ho_t is infinite too (it lost the strict comparison above), so the
+        // prefill pool holds no future work: the fleet is truly idle.
+        break;
+      }
       Replica& r = replicas_[det_i];
       advance(det_t);  // the dying replica freezes at its fail-stop instant
       r.detected = true;
@@ -685,7 +811,16 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
         Duration at = det_t + cfg_.retry_timeout;
         if (resume) {
           // Surviving-cache mode: the checkpointed prefix is restored onto
-          // the retry replica at the modelled transfer cost.
+          // the retry replica at the modelled transfer cost. With a
+          // checkpoint cadence, decode progress rounds down to the last
+          // interval boundary -- work past it was never checkpointed and is
+          // repeated on the retry replica (a decode-pool victim's requests
+          // keep their full prompt, so they re-home within the decode pool).
+          if (cfg_.cache.checkpoint_interval_tokens > 0) {
+            rq.resume.decoded -=
+                rq.resume.decoded % cfg_.cache.checkpoint_interval_tokens;
+            if (rq.resume.decoded == 0) rq.resume.first_token = Duration::zero();
+          }
           at += cfg_.cache.transfer_time_for(rq.resume.resident_tokens());
         } else {
           // Lost-cache mode: the KV state died with the node.
@@ -728,7 +863,18 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
         ReplicaSpec spec = growth_;
         spec.seed = next_seed_++;
         const std::size_t idx = replicas_.size();
-        add_replica(spec, tick_t, tick_t + cfg_.warmup);
+        bool spawn_prefill = false;
+        if (disagg_on) {
+          // Grow the pool furthest below its boot share (accepting members
+          // vs. boot prefill:decode ratio); ties grow the decode pool.
+          std::size_t p = 0, d = 0;
+          for (const Replica& r : replicas_) {
+            if (r.detected || r.retired) continue;
+            (r.prefill ? p : d) += 1;
+          }
+          spawn_prefill = p * boot_decode < d * boot_prefill;
+        }
+        add_replica(spec, tick_t, tick_t + cfg_.warmup, spawn_prefill);
         eligible_add(idx, tick_t);
         if (log) {
           events.push_back({ClusterEvent::Kind::kScaleUp, tick_t, idx,
@@ -740,16 +886,27 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
       while (capacity > target && capacity > 1) {
         // Retire the accepting replica owing the fewest tokens, newest on
         // ties: it drains its queue, then idles, never dispatched to again.
+        // Disaggregated fleets never retire a pool's last accepting member
+        // (requests of its phase would have nowhere to go).
+        std::size_t pool_count[2] = {0, 0};  // [decode, prefill]
+        if (disagg_on) {
+          for (const Replica& r : replicas_) {
+            if (r.detected || r.retired) continue;
+            ++pool_count[r.prefill ? 1 : 0];
+          }
+        }
         std::size_t victim = replicas_.size();
         for (std::size_t i = 0; i < replicas_.size(); ++i) {
           const Replica& r = replicas_[i];
           if (r.detected || r.retired) continue;
+          if (disagg_on && pool_count[r.prefill ? 1 : 0] <= 1) continue;
           if (victim == replicas_.size() ||
               r.server->outstanding_tokens() <=
                   replicas_[victim].server->outstanding_tokens()) {
             victim = i;
           }
         }
+        if (victim == replicas_.size()) break;  // every candidate is its pool's last
         replicas_[victim].retired = true;
         replicas_[victim].retired_at = tick_t;
         eligible_remove(victim);
@@ -764,6 +921,10 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
           // no resident state re-dispatch at the tick itself.
           std::vector<Request> moved = replicas_[victim].server->evacuate();
           replicas_[victim].evacuated = true;
+          // A prefill victim's forced step-boundary completion may have
+          // released prefill-complete requests: convert them now (their
+          // release lies at or after this tick), or they die with the buffer.
+          drain_handoffs(victim, tick_t, tick_t);
           push_calendar(victim);  // evacuation mutated the server (to no events)
           const Duration boundary = monde::max(tick_t, replicas_[victim].server->now());
           for (Request rq : moved) {
@@ -834,9 +995,16 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
       continue;
     }
 
-    if (!has_item()) break;
+    // The detection branch wins every all-infinite tie, so an item is
+    // guaranteed here: item_t < det_t/tick_t/reb_t implies has_item().
+    MONDE_ASSERT(has_item(), "item branch reached with no item");
+    // Advance before popping: the advance may surface prefill-complete
+    // handoffs clamped to this very instant, and such an item (possibly
+    // carrying a smaller id than the current head) must be eligible for
+    // this pop to keep the global (time, id) dispatch order.
+    advance(item_t);
     const Item it = pop_item();
-    advance(it.time);
+    last_pop = it.time;
     phase_begin();
     Request rq = it.rq;
     rq.arrival = it.time;  // = the original arrival except for re-dispatches
@@ -866,10 +1034,19 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
                     "no replica is accepting requests (every replica failed or retired)");
       const std::vector<ReplicaSnapshot>& view =
           ewma_filter && !fast_eligible.empty() ? fast_eligible : eligible;
-      const std::size_t pick = dispatcher.pick(view, rq);
-      MONDE_REQUIRE(pick < view.size(),
-                    "dispatcher picked entry " << pick << " of " << view.size());
-      idx = view[pick].replica;
+      if (disagg_on) {
+        const std::vector<ReplicaSnapshot> pool = disagg_view(
+            view, [&]() -> const std::vector<ReplicaSnapshot>& { return eligible; }, rq);
+        const std::size_t pick = dispatcher.pick(pool, rq);
+        MONDE_REQUIRE(pick < pool.size(),
+                      "dispatcher picked entry " << pick << " of " << pool.size());
+        idx = pool[pick].replica;
+      } else {
+        const std::size_t pick = dispatcher.pick(view, rq);
+        MONDE_REQUIRE(pick < view.size(),
+                      "dispatcher picked entry " << pick << " of " << view.size());
+        idx = view[pick].replica;
+      }
     } else {
       // The stale-heartbeat cut is belt-and-braces here: detection events at
       // or before `it.time` were processed first, so a replica whose age
@@ -878,10 +1055,25 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
       const std::vector<ReplicaSnapshot> elig =
           eligible_snapshots(snapshots(it.time), cfg_.health.slow_ewma_factor,
                              cfg_.health.heartbeat_timeout.ms());
-      const std::size_t pick = dispatcher.pick(elig, rq);
-      MONDE_REQUIRE(pick < elig.size(),
-                    "dispatcher picked entry " << pick << " of " << elig.size());
-      idx = elig[pick].replica;
+      if (disagg_on) {
+        // The fallback view drops only the soft EWMA filter, mirroring the
+        // fast path's maintained `eligible` index.
+        const auto accepting = [&] {
+          return eligible_snapshots(snapshots(it.time),
+                                    std::numeric_limits<double>::infinity(),
+                                    cfg_.health.heartbeat_timeout.ms());
+        };
+        const std::vector<ReplicaSnapshot> pool = disagg_view(elig, accepting, rq);
+        const std::size_t pick = dispatcher.pick(pool, rq);
+        MONDE_REQUIRE(pick < pool.size(),
+                      "dispatcher picked entry " << pick << " of " << pool.size());
+        idx = pool[pick].replica;
+      } else {
+        const std::size_t pick = dispatcher.pick(elig, rq);
+        MONDE_REQUIRE(pick < elig.size(),
+                      "dispatcher picked entry " << pick << " of " << elig.size());
+        idx = elig[pick].replica;
+      }
     }
     // Pruned-expert degraded mode: a request landing on an overloaded
     // replica is served with a truncated profile -- fewer experts to keep
@@ -896,7 +1088,18 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     ++replicas_[idx].dispatched;
     write_through(idx);
     push_calendar(idx);
-    if (rq.attempt > 0) {
+    if (it.handoff) {
+      // Handoffs are their own lifecycle event, not failure retries --
+      // attempt was bumped (it IS a re-dispatch) but the retry/migration
+      // counters stay clean.
+      ++handoffs;
+      if (log) {
+        events.push_back({ClusterEvent::Kind::kHandoff, it.time, idx,
+                          "request " + std::to_string(rq.id) +
+                              " prefill complete -> replica" + std::to_string(idx) + " (" +
+                              std::to_string(rq.resume.resident_tokens()) + " KV tokens)"});
+      }
+    } else if (rq.attempt > 0) {
       if (log) {
         std::string detail = "request " + std::to_string(rq.id) + " attempt " +
                              std::to_string(rq.attempt) + " -> replica" + std::to_string(idx);
@@ -934,6 +1137,7 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
   rep.autoscaler = autoscaler != nullptr ? autoscaler->name() : "";
   rep.retries = retries;
   rep.migrations = migrations;
+  rep.handoffs = handoffs;
   rep.peak_replicas = peak;
   rep.expert_migrations = expert_migrations;
   rep.pruned_requests = pruned_requests;
@@ -990,6 +1194,16 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     rep.cached_prefill_tokens += rr.serve.cache.saved_tokens;
     rep.expert_hits += rr.serve.expert_hits;
     rep.expert_misses += rr.serve.expert_misses;
+    rep.handoff_tokens += rr.serve.handoff_tokens;
+    rep.handoff_transfer_s += rr.serve.handoff_transfer.sec();
+    if (disagg_on) {
+      ClusterReport::PoolReport& pr = r.prefill ? rep.prefill_pool : rep.decode_pool;
+      ++pr.replicas;
+      pr.dispatched += rr.dispatched;
+      pr.steps += rr.serve.steps.size();
+      pr.busy_s += rr.serve.busy.sec();
+      pr.replica_seconds += window.sec();
+    }
     total_busy += rr.serve.busy;
     total_alive += window;
     busy_ms.push_back(rr.serve.busy.ms());
@@ -1025,6 +1239,13 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
   rep.expert_hit_rate = expert_total == 0 ? 0.0
                                           : static_cast<double>(rep.expert_hits) /
                                                 static_cast<double>(expert_total);
+  const auto finish_pool = [](ClusterReport::PoolReport& pr) {
+    pr.utilization = pr.replica_seconds > 0.0 ? pr.busy_s / pr.replica_seconds : 0.0;
+    pr.mean_step_ms =
+        pr.steps > 0 ? pr.busy_s * 1000.0 / static_cast<double>(pr.steps) : 0.0;
+  };
+  finish_pool(rep.prefill_pool);
+  finish_pool(rep.decode_pool);
   return rep;
 }
 

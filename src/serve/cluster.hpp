@@ -103,6 +103,7 @@
 #include "moe/workload.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/autoscale.hpp"
+#include "serve/disagg.hpp"
 #include "serve/dispatch.hpp"
 #include "serve/expert.hpp"
 #include "serve/server.hpp"
@@ -160,6 +161,19 @@ struct ClusterConfig {
   /// across the fleet at `expert.rebalance_period`, and the pruned-expert
   /// degraded mode truncates profiles dispatched onto overloaded replicas.
   ExpertServingConfig expert;
+  /// Disaggregated prefill/decode serving (serve/disagg.hpp). Disabled by
+  /// default, which pins the unified-fleet behavior bit-identically. When
+  /// enabled, boot replicas [0, disagg.prefill_replicas) take the prefill
+  /// role: new arrivals are dispatched to the prefill pool only; the moment
+  /// a request's prefill completes it is handed off -- its KV frontier ships
+  /// over `disagg.handoff_link`, priced per resident token -- and re-enters
+  /// dispatch as a checkpointed resume routed to the decode pool
+  /// (Request::decode_phase()). Autoscaling grows the pool furthest below
+  /// its boot share and never retires a pool's last member; a decode
+  /// replica's fail-stop re-homes its in-flight handoffs within the decode
+  /// pool when the checkpoint survives (ClusterConfig::cache). Requires
+  /// continuous batching on every replica.
+  DisaggConfig disagg;
   /// Measure per-phase wall-clock (advance / dispatch / commit) into the
   /// report's phase_*_s fields, for the perf-trend dashboard: the
   /// advancement phase parallelizes across threads while dispatch and
@@ -199,6 +213,7 @@ struct ClusterEvent {
     kRetry,            ///< a stranded request was re-dispatched
     kMigrate,          ///< an evacuated request landed on its new replica
     kExpertRebalance,  ///< hot experts preloaded across the fleet
+    kHandoff,          ///< a prefilled request's KV landed on a decode replica
   };
   Kind kind{};
   Duration time = Duration::zero();
@@ -262,6 +277,22 @@ struct ClusterReport {
   double expert_hit_rate = 0.0;     ///< hits / (hits + misses), 0 with no accesses
   std::size_t expert_migrations = 0;  ///< experts preloaded by rebalance ticks
   std::size_t pruned_requests = 0;    ///< requests served with a truncated profile
+  // Disaggregated serving (all-zero when ClusterConfig::disagg is disabled):
+  std::size_t handoffs = 0;         ///< prefill-complete releases re-dispatched
+  std::int64_t handoff_tokens = 0;  ///< KV tokens shipped across the handoff link
+  double handoff_transfer_s = 0.0;  ///< summed handoff-link time, seconds
+  /// One pool's slice of a disaggregated run (all-zero when disabled).
+  struct PoolReport {
+    std::size_t replicas = 0;     ///< replicas that ever held the role
+    std::size_t dispatched = 0;   ///< requests the pool received (incl. re-dispatches)
+    std::size_t steps = 0;        ///< scheduler steps the pool executed
+    double busy_s = 0.0;          ///< summed step time, seconds
+    double replica_seconds = 0.0; ///< summed alive windows, seconds
+    double utilization = 0.0;     ///< busy_s over replica_seconds
+    double mean_step_ms = 0.0;    ///< busy_s / steps, milliseconds
+  };
+  PoolReport prefill_pool;
+  PoolReport decode_pool;
   // Per-phase wall-clock (0 unless ClusterConfig::measure_phases):
   double phase_advance_s = 0.0;   ///< replica advancement (parallelizes)
   double phase_dispatch_s = 0.0;  ///< snapshot refresh + pick + enqueue (sequential)
@@ -307,11 +338,13 @@ class ClusterSim {
     bool detected = false;  ///< failure detected (excluded, harvested)
     bool retired = false;   ///< scaled down (excluded from dispatch)
     bool evacuated = false; ///< retirement migrated its work away (nothing to harvest)
+    bool prefill = false;   ///< disaggregated-serving role (false = decode/unified)
     std::size_t steps_seen = 0;  ///< steps folded into the EWMA so far
     double ewma_ms = 0.0;        ///< step-duration EWMA (health signal)
   };
 
-  void add_replica(const ReplicaSpec& spec, Duration spawned_at, Duration start_at);
+  void add_replica(const ReplicaSpec& spec, Duration spawned_at, Duration start_at,
+                   bool prefill = false);
   void update_ewma(Replica& r);
   [[nodiscard]] std::vector<ReplicaSnapshot> snapshots(Duration now) const;
   [[nodiscard]] std::size_t accepting_count() const;

@@ -1,0 +1,57 @@
+// Disaggregated prefill/decode serving configuration.
+//
+// Splitwise/DistServe-style pool specialization for the fleet: when enabled,
+// every replica is assigned a role -- prefill specialist or decode
+// specialist. Dispatch routes newly arriving (prefill-phase) requests to the
+// prefill pool only; as soon as a request's prompt is fully prefilled, the
+// prefill replica releases it and its KV state is handed off to a decode
+// replica over `handoff_link`, priced per token through the same
+// kv_bytes_per_token model that prices retry/migration transfers
+// (serve/kvcache.hpp). The handoff reuses the checkpointed-resume machinery:
+// the released request carries a ResumeState with `prefilled == prompt_len`,
+// so the decode replica admits it as a resumed request and never re-runs the
+// prompt.
+//
+// Everything is off by default: with `enabled == false` the cluster is
+// bit-identical to the unified fleet (pinned by tests/test_calendar_diff.cpp
+// and tests/test_random_diff.cpp), mirroring the PrefixCacheConfig /
+// ExpertServingConfig pattern.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "interconnect/link.hpp"
+
+namespace monde::serve {
+
+struct DisaggConfig {
+  bool enabled = false;
+
+  /// Boot-time prefill specialists: replicas [0, prefill_replicas) of the
+  /// initial fleet take the prefill role, the rest decode. Autoscaling keeps
+  /// the pools near this boot-time ratio and never retires the last replica
+  /// of either pool.
+  std::size_t prefill_replicas = 1;
+
+  /// Link carrying the KV state of a prefilled request from its prefill
+  /// replica to the chosen decode replica. The payload is
+  /// `kv_bytes_per_token * (prompt + decoded so far)` -- the request's whole
+  /// resident frontier -- so slow links visibly delay the first decode step.
+  interconnect::LinkSpec handoff_link = interconnect::LinkSpec::pcie_gen4_x16();
+
+  /// Decode-pool admission by outstanding-token load: a handed-off request
+  /// only considers decode replicas whose outstanding tokens are at or below
+  /// this cap, falling back to the whole pool when every replica is above
+  /// it. 0 = uncapped.
+  std::int64_t decode_admit_tokens = 0;
+
+  void validate() const {
+    if (!enabled) return;
+    MONDE_REQUIRE(prefill_replicas > 0,
+                  "disaggregated serving needs prefill_replicas > 0");
+    MONDE_REQUIRE(decode_admit_tokens >= 0, "decode_admit_tokens must be >= 0");
+  }
+};
+
+}  // namespace monde::serve

@@ -212,6 +212,26 @@ std::vector<ReplicaSnapshot> eligible_snapshots(const std::vector<ReplicaSnapsho
   return fast.empty() ? eligible : fast;
 }
 
+std::vector<ReplicaSnapshot> pool_snapshots(const std::vector<ReplicaSnapshot>& all,
+                                            bool prefill,
+                                            std::int64_t decode_admit_tokens) {
+  std::vector<ReplicaSnapshot> pool;
+  for (const ReplicaSnapshot& s : all) {
+    if (s.prefill_pool == prefill) pool.push_back(s);
+  }
+  if (!prefill && decode_admit_tokens > 0) {
+    // Decode-pool admission control: prefer replicas whose outstanding-token
+    // load is within the cap, but never strand a request -- an all-over-cap
+    // pool stays dispatchable in full.
+    std::vector<ReplicaSnapshot> within;
+    for (const ReplicaSnapshot& s : pool) {
+      if (s.outstanding_tokens <= decode_admit_tokens) within.push_back(s);
+    }
+    if (!within.empty()) return within;
+  }
+  return pool;
+}
+
 std::unique_ptr<Dispatcher> make_dispatcher(DispatchPolicy policy, std::uint64_t seed) {
   switch (policy) {
     case DispatchPolicy::kRoundRobin: return std::make_unique<RoundRobinDispatcher>();

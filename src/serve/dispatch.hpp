@@ -92,6 +92,10 @@ struct ReplicaSnapshot {
   /// Gating-aware policies AND it with the request's profile signature to
   /// estimate hot-set overlap in one popcount.
   std::uint64_t expert_sig = 0;
+  /// Disaggregated serving (serve/disagg.hpp): true for a prefill-specialist
+  /// replica. False when disaggregation is disabled (the whole fleet is then
+  /// one unified decode-capable pool), so hand-built snapshots keep working.
+  bool prefill_pool = false;
 };
 
 /// A dispatch policy. pick() is called once per request, in arrival order;
@@ -139,5 +143,17 @@ class Dispatcher {
 [[nodiscard]] std::vector<ReplicaSnapshot> eligible_snapshots(
     const std::vector<ReplicaSnapshot>& all, double slow_ewma_factor,
     double stale_age_ms = std::numeric_limits<double>::infinity());
+
+/// Disaggregated-serving pool filter, applied after eligible_snapshots():
+/// keeps the replicas of the requested role (`prefill` true = prefill pool,
+/// false = decode pool). For the decode pool a positive `decode_admit_tokens`
+/// prefers replicas within the outstanding-token cap and falls back to the
+/// whole pool when every member is over it (admission control must not
+/// strand a handoff). May return empty -- the caller decides whether to fall
+/// back to a less-filtered view before declaring the pool gone. Order and
+/// `replica` indices are preserved.
+[[nodiscard]] std::vector<ReplicaSnapshot> pool_snapshots(
+    const std::vector<ReplicaSnapshot>& all, bool prefill,
+    std::int64_t decode_admit_tokens = 0);
 
 }  // namespace monde::serve

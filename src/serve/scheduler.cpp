@@ -293,6 +293,30 @@ std::vector<Request> ContinuousBatchScheduler::abort_unfinished() {
   return stranded;
 }
 
+std::vector<Request> ContinuousBatchScheduler::release_prefilled() {
+  std::vector<Request> released;
+  for (const std::size_t idx : active_) {
+    RequestState& rs = states_[idx];
+    if (rs.done) continue;
+    // Only requests whose admission step has completed are releasable: the
+    // step advanced their decode depth past what they arrived with, which is
+    // the same signal abort_unfinished() keys its checkpoint annotation on.
+    if (rs.generated <= rs.request.resume.decoded) continue;
+    Request rq = rs.request;
+    rq.resume.prefilled = rq.prompt_len;
+    rq.resume.decoded = rs.generated;
+    rq.resume.first_token = rs.first_token;
+    released.push_back(rq);
+    rs.done = true;  // leaves the batch; handed_off keeps reporting honest
+    rs.handed_off = true;
+    --live_;
+    owed_tokens_ -= rs.request.max_new_tokens - rs.generated;
+  }
+  std::erase_if(active_, [this](std::size_t idx) { return states_[idx].done; });
+  std::stable_sort(released.begin(), released.end(), arrival_order<Request>);
+  return released;
+}
+
 StepOutcome ContinuousBatchScheduler::complete_step(Duration end) {
   StepOutcome out;
   bool all_done = true;

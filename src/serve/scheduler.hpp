@@ -95,6 +95,10 @@ struct RequestState {
   std::int64_t generated = 0;  ///< tokens produced across attempts (= decode depth)
   std::int64_t saved_tokens = 0;  ///< prefill tokens skipped at admission
   bool done = false;
+  /// Released to a decode replica by release_prefilled(): the request left
+  /// this scheduler mid-flight by design, not by completion or failure. Its
+  /// metrics finish elsewhere, so reporting skips it like a padded slot.
+  bool handed_off = false;
   std::int64_t bypassed = 0;   ///< size-aware admissions that skipped past this
   Duration admitted = Duration::zero();
   Duration first_token = Duration::zero();
@@ -203,6 +207,16 @@ class ContinuousBatchScheduler {
   /// Completed requests keep their metrics and the scheduler is left
   /// drained; push() must not be called afterwards.
   std::vector<Request> abort_unfinished();
+
+  /// Disaggregated-serving support: release every active request whose
+  /// admission step has completed (its prompt is fully resident and at least
+  /// one decode token surfaced) for handoff to a decode replica. Returns the
+  /// original Requests in (arrival, id) order, each annotated with its
+  /// checkpointed progress exactly like abort_unfinished(); the released
+  /// states stay behind flagged `handed_off` (their metrics finish on the
+  /// decode replica). Unlike abort_unfinished() the scheduler keeps serving:
+  /// queued and pending requests are untouched and push() stays legal.
+  std::vector<Request> release_prefilled();
 
  private:
   /// Admission helpers for the two continuous-mode orders.

@@ -5,7 +5,8 @@
 namespace monde::serve {
 
 ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg, Duration start_at,
-                     FaultSpec fault, PrefixCacheConfig cache, ExpertServingConfig expert)
+                     FaultSpec fault, PrefixCacheConfig cache, ExpertServingConfig expert,
+                     DisaggConfig disagg, bool prefill_role)
     : engine_{engine},
       cfg_{cfg},
       sched_{cfg},
@@ -14,10 +15,18 @@ ServerSim::ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg, Duratio
       fault_{fault},
       cache_{cache},
       expert_{expert},
-      expert_cache_{expert.enabled ? expert.cache_capacity : 0} {
+      expert_cache_{expert.enabled ? expert.cache_capacity : 0},
+      disagg_{disagg},
+      prefill_role_{prefill_role} {
   cfg_.validate();
   fault_.validate();
   expert_.validate();
+  disagg_.validate();
+  MONDE_REQUIRE(!prefill_role_ || disagg_.enabled,
+                "the prefill role requires disaggregated serving to be enabled");
+  MONDE_REQUIRE(!prefill_role_ || cfg_.mode == BatchingMode::kContinuous,
+                "a prefill-role replica needs continuous batching (a fixed batch "
+                "cannot release requests mid-batch)");
   if (expert_.enabled) {
     const Bytes bytes = expert_.expert_bytes.count() > 0
                             ? expert_.expert_bytes
@@ -125,6 +134,7 @@ std::vector<Request> ServerSim::harvest_stranded() {
   harvested_ = true;
   std::vector<Request> stranded = sched_.abort_unfinished();
   cache_.drop_pinned();
+  for (const Request& rq : stranded) unpin_experts(rq.id, /*evict=*/true);
   touch();
   return stranded;
 }
@@ -146,6 +156,10 @@ std::vector<Request> ServerSim::evacuate() {
   apply_pending_completion();
   std::vector<Request> moved = sched_.abort_unfinished();
   cache_.drop_pinned();
+  // The migrating requests take their expert demand with them: experts no
+  // remaining local request references leave the cache and re-home on
+  // whichever replica the cluster re-dispatches the requests to.
+  for (const Request& rq : moved) unpin_experts(rq.id, /*evict=*/true);
   touch();
   return moved;
 }
@@ -162,6 +176,40 @@ void ServerSim::apply_pending_completion() {
     for (const std::uint64_t id : out.advanced) cache_.decode_token(id);
     for (const std::uint64_t id : out.finished) cache_.complete(id);
   }
+  if (expert_.enabled) {
+    for (const std::uint64_t id : out.finished) unpin_experts(id, /*evict=*/false);
+  }
+  if (prefill_role_) {
+    // Prefill complete: every request whose admission step just landed
+    // (prompt resident, first decode token surfaced) leaves for the decode
+    // pool as a checkpointed resume. Its KV frontier ships over the handoff
+    // link, priced per resident token; the outbound DMA is charged to this
+    // replica's next step (pending_handoff_ship_), and the cluster turns
+    // each record into a decode-pool dispatch at release + transfer.
+    for (Request& rq : sched_.release_prefilled()) {
+      cache_.complete(rq.id);  // no-op when the cache is disabled
+      unpin_experts(rq.id, /*evict=*/false);
+      const Duration transfer = disagg_.handoff_link.transfer_time(
+          cache_.config().kv_bytes_per_token *
+          static_cast<std::uint64_t>(rq.resume.resident_tokens()));
+      ++handoff_count_;
+      handoff_tokens_ += rq.resume.resident_tokens();
+      handoff_transfer_ += transfer;
+      pending_handoff_ship_ += transfer;
+      handoffs_out_.push_back(HandoffRecord{std::move(rq), pending_end_, transfer});
+    }
+  }
+}
+
+std::vector<HandoffRecord> ServerSim::take_handoffs(Duration now) {
+  MONDE_REQUIRE(prefill_role_, "take_handoffs() on a non-prefill replica");
+  if (!failed_ && completion_pending_ && pending_end_ < now) {
+    apply_pending_completion();
+    touch();
+  }
+  std::vector<HandoffRecord> out;
+  out.swap(handoffs_out_);
+  return out;
 }
 
 void ServerSim::step(const std::vector<RequestState*>& newly) {
@@ -204,6 +252,7 @@ void ServerSim::step(const std::vector<RequestState*>& newly) {
   // arrived since the last step are charged here too. The walk is in
   // admission order, so the accounting is deterministic.
   if (expert_.enabled) {
+    for (const RequestState* rs : newly) pin_experts(rs->request);
     const auto& states = sched_.states();
     for (const std::size_t idx : sched_.active()) {
       for (const auto& e : states[idx].request.expert_profile.experts) {
@@ -220,10 +269,43 @@ void ServerSim::step(const std::vector<RequestState*>& newly) {
     st_.now += rec.expert_fetch;
     pending_end_ += rec.expert_fetch;
   }
+  // Outbound KV handoffs released at the previous boundary occupy the link
+  // now; this step synchronizes on the DMA (same model as the preloads).
+  if (pending_handoff_ship_ > Duration::zero()) {
+    rec.handoff_ship = pending_handoff_ship_;
+    pending_handoff_ship_ = Duration::zero();
+    st_.now += rec.handoff_ship;
+    pending_end_ += rec.handoff_ship;
+  }
   rec.decode_tokens = static_cast<std::int64_t>(slots.size());
   rec.end = st_.now;
   busy_ += rec.end - rec.start;
   steps_.push_back(rec);
+}
+
+void ServerSim::pin_experts(const Request& rq) {
+  if (rq.expert_profile.empty()) return;
+  std::vector<core::ExpertId>& ids = request_experts_[rq.id];
+  for (const auto& e : rq.expert_profile.experts) {
+    const core::ExpertId id{e.layer, e.expert};
+    ids.push_back(id);
+    ++expert_pins_[id];
+  }
+}
+
+void ServerSim::unpin_experts(std::uint64_t id, bool evict) {
+  const auto it = request_experts_.find(id);
+  if (it == request_experts_.end()) return;
+  for (const core::ExpertId& eid : it->second) {
+    const auto pin = expert_pins_.find(eid);
+    MONDE_ASSERT(pin != expert_pins_.end() && pin->second > 0,
+                 "expert residency refcount underflow");
+    if (--pin->second == 0) {
+      expert_pins_.erase(pin);
+      if (evict) expert_cache_.erase(eid);
+    }
+  }
+  request_experts_.erase(it);
 }
 
 std::size_t ServerSim::preload_experts(const std::vector<core::ExpertId>& ids) {
@@ -249,6 +331,13 @@ ServeReport ServerSim::report() const {
   report.busy = busy_;
   std::vector<double> ttft_ms, tpot_ms, e2e_ms;
   for (const RequestState& rs : sched_.states()) {
+    if (rs.handed_off) {
+      // The request left mid-flight for a decode replica; its latency
+      // metrics finish there. Credit only the tokens decoded here.
+      report.generated_tokens +=
+          static_cast<std::uint64_t>(rs.generated - rs.request.resume.decoded);
+      continue;
+    }
     MONDE_ASSERT(rs.done, "request " << rs.request.id << " never completed");
     RequestMetrics m;
     m.id = rs.request.id;
@@ -286,6 +375,9 @@ ServeReport ServerSim::report() const {
   report.expert_misses = expert_cache_.misses();
   report.expert_hit_rate = expert_cache_.hit_rate();
   report.resident_experts = expert_cache_.size();
+  report.handoffs = handoff_count_;
+  report.handoff_tokens = handoff_tokens_;
+  report.handoff_transfer = handoff_transfer_;
   return report;
 }
 

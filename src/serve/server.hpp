@@ -69,9 +69,12 @@
 #include <cstdint>
 #include <vector>
 
+#include <unordered_map>
+
 #include "common/stats.hpp"
 #include "core/engine.hpp"
 #include "core/expert_cache.hpp"
+#include "serve/disagg.hpp"
 #include "serve/expert.hpp"
 #include "serve/fault.hpp"
 #include "serve/kvcache.hpp"
@@ -89,6 +92,10 @@ struct StepRecord {
   std::int64_t cached_tokens = 0;   ///< prompt tokens served from the prefix cache
   std::int64_t expert_misses = 0;   ///< expert fetches priced into this step
   Duration expert_fetch = Duration::zero();  ///< fetch time added to the step span
+  /// KV handoff shipments (disaggregated serving) charged to this step: the
+  /// outbound DMA of the previous step's releases contends with compute, so
+  /// the next step synchronizes on it -- same model as rebalance preloads.
+  Duration handoff_ship = Duration::zero();
 };
 
 /// Final per-request latency accounting. `arrival` is the instant the
@@ -144,6 +151,24 @@ struct ServeReport {
   std::uint64_t expert_misses = 0;  ///< profile experts fetched (priced into steps)
   double expert_hit_rate = 0.0;     ///< hits / (hits + misses), 0 with no accesses
   std::size_t resident_experts = 0; ///< experts hot at the end of the run
+  // Disaggregated serving (all-zero unless this replica runs the prefill
+  // role): prefill-complete releases handed to the decode pool. A handed-off
+  // request does not appear in `requests` (it finishes on a decode replica);
+  // only its locally decoded tokens count into generated_tokens.
+  std::uint64_t handoffs = 0;              ///< requests released to decode replicas
+  std::int64_t handoff_tokens = 0;         ///< KV tokens shipped with those releases
+  Duration handoff_transfer = Duration::zero();  ///< summed handoff-link time
+};
+
+/// One prefill-complete release (disaggregated serving): the request leaves a
+/// prefill replica annotated for checkpointed resume -- prompt fully
+/// prefilled, decode progress and first-token instant carried along -- and
+/// the cluster re-dispatches it to a decode replica once the KV frontier has
+/// crossed the handoff link (at `release + transfer`).
+struct HandoffRecord {
+  Request request;
+  Duration release = Duration::zero();   ///< step boundary of the release
+  Duration transfer = Duration::zero();  ///< handoff-link span for the KV frontier
 };
 
 /// Drives one InferenceEngine through a request trace under one scheduler.
@@ -156,10 +181,15 @@ class ServerSim {
   /// configures the replica's prefix/KV cache (disabled by default, which
   /// keeps the server bit-identical to the cache-less behavior); `expert`
   /// configures the replica's expert residency (serve/expert.hpp) -- also
-  /// disabled by default with the same bit-identity guarantee.
+  /// disabled by default with the same bit-identity guarantee. `disagg` and
+  /// `prefill_role` opt the replica into disaggregated serving
+  /// (serve/disagg.hpp): a prefill-role replica releases every request at
+  /// its admission-step boundary instead of decoding it to completion, and
+  /// requires continuous batching (a fixed batch cannot release mid-batch).
   ServerSim(core::InferenceEngine& engine, SchedulerConfig cfg,
             Duration start_at = Duration::zero(), FaultSpec fault = {},
-            PrefixCacheConfig cache = {}, ExpertServingConfig expert = {});
+            PrefixCacheConfig cache = {}, ExpertServingConfig expert = {},
+            DisaggConfig disagg = {}, bool prefill_role = false);
 
   // --- Incremental event API (what a cluster dispatcher drives) -----------
 
@@ -263,6 +293,19 @@ class ServerSim {
   /// a no-op on a failed/evacuated server or with expert serving disabled.
   std::size_t preload_experts(const std::vector<core::ExpertId>& ids);
 
+  /// Disaggregated serving: true when this replica runs the prefill role.
+  [[nodiscard]] bool prefill_role() const { return prefill_role_; }
+
+  /// Prefill-complete releases buffered since the last take_handoffs().
+  [[nodiscard]] bool has_handoffs() const { return !handoffs_out_.empty(); }
+
+  /// Drain the buffered prefill-complete releases, in release order. First
+  /// applies a pending step completion that ends strictly before `now` (the
+  /// cluster's tail drain passes infinite to flush the final step; a commit
+  /// at the current event time never applies anything early, preserving the
+  /// lazy-completion contract). Prefill-role only.
+  [[nodiscard]] std::vector<HandoffRecord> take_handoffs(Duration now);
+
   /// Metrics for everything served so far. Requires drained().
   [[nodiscard]] ServeReport report() const;
 
@@ -284,6 +327,18 @@ class ServerSim {
   /// landed in time, discard one that did not, clamp the clock.
   void fail_now();
 
+  /// Expert residency refcounts: remember which experts `rq` references so
+  /// its departure can release them (satisfying "demand re-homes with the
+  /// request"). Pins never protect an expert from ordinary LRU pressure --
+  /// they only drive departure eviction.
+  void pin_experts(const Request& rq);
+
+  /// Drop request `id`'s pins. A completing or handed-off request leaves its
+  /// experts warm (`evict` false); a harvested/evacuated one takes its
+  /// demand with it -- experts with no remaining referencing request are
+  /// erased from the cache (`evict` true).
+  void unpin_experts(std::uint64_t id, bool evict);
+
   /// Record a mutation: bump version_ and drop the next_event_time() cache.
   void touch() {
     ++version_;
@@ -301,6 +356,18 @@ class ServerSim {
   core::ExpertCache expert_cache_;  ///< capacity 0 (inert) when disabled
   Duration expert_fetch_time_ = Duration::zero();  ///< per-expert miss cost
   Duration pending_preload_ = Duration::zero();    ///< rebalance fetches awaiting a step
+  /// Expert residency refcounts (see pin_experts/unpin_experts): per-request
+  /// pinned experts and how many in-flight requests reference each expert.
+  std::unordered_map<std::uint64_t, std::vector<core::ExpertId>> request_experts_;
+  std::unordered_map<core::ExpertId, std::int64_t, core::ExpertIdHash> expert_pins_;
+  // Disaggregated serving (inert unless prefill_role_):
+  DisaggConfig disagg_;
+  bool prefill_role_ = false;
+  std::vector<HandoffRecord> handoffs_out_;  ///< releases awaiting take_handoffs()
+  Duration pending_handoff_ship_ = Duration::zero();  ///< DMA time awaiting a step
+  std::uint64_t handoff_count_ = 0;
+  std::int64_t handoff_tokens_ = 0;
+  Duration handoff_transfer_ = Duration::zero();
   /// Admissions of the in-flight step, held back until its completion
   /// applies: a fail-stop that discards the step must not credit the cache
   /// with hits (or pin state) for work that died with the node.

@@ -149,5 +149,37 @@ TEST(ExpertCache, SignatureRefcountsCollidingExperts) {
   EXPECT_EQ(cache.signature() & bit, 0u);
 }
 
+TEST(ExpertCache, EraseRemovesResidencyAndSignature) {
+  ExpertCache cache{4};
+  cache.insert(id(0, 1));
+  cache.insert(id(0, 2));
+  cache.erase(id(0, 1));
+  EXPECT_FALSE(cache.contains(id(0, 1)));
+  EXPECT_TRUE(cache.contains(id(0, 2)));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.signature(),
+            std::uint64_t{1} << moe::expert_signature_bit(0, 2));
+
+  // Erasing an absent expert is a no-op, and erase never counts as an
+  // access: hit/miss statistics stay untouched.
+  const std::uint64_t misses = cache.misses();
+  cache.erase(id(0, 1));
+  cache.erase(id(5, 5));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), misses);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // The freed slot is real capacity: a full cache that loses a member
+  // accepts the next insert without evicting anyone else.
+  ExpertCache full{2};
+  full.insert(id(1, 0));
+  full.insert(id(1, 1));
+  full.erase(id(1, 0));
+  full.insert(id(1, 2));
+  EXPECT_TRUE(full.contains(id(1, 1)));
+  EXPECT_TRUE(full.contains(id(1, 2)));
+  EXPECT_EQ(full.size(), 2u);
+}
+
 }  // namespace
 }  // namespace monde::core

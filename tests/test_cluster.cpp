@@ -9,30 +9,14 @@
 #include "common/error.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/cluster.hpp"
+#include "serve_fixtures.hpp"
 
 namespace monde::serve {
 namespace {
 
-/// A small MoE model that keeps cycle-level simulations fast.
-moe::MoeModelConfig tiny_model() {
-  moe::MoeModelConfig m = moe::MoeModelConfig::switch_variant(512, 16);
-  m.encoder_blocks = 4;
-  m.decoder_blocks = 4;
-  m.moe_every = 2;
-  m.vocab_size = 8192;
-  m.top_k = 2;
-  m.name = "tiny-test-model";
-  return m;
-}
-
-RequestShape small_shape() {
-  RequestShape s;
-  s.prompt_min = 16;
-  s.prompt_max = 48;
-  s.new_tokens_min = 2;
-  s.new_tokens_max = 8;
-  return s;
-}
+// tiny_model()/small_shape() come from the shared serving fixtures.
+using fixtures::small_shape;
+using fixtures::tiny_model;
 
 ClusterSim make_cluster(std::size_t n, SchedulerConfig cfg = {}, std::uint64_t seed0 = 1) {
   return ClusterSim{core::SystemConfig::dac24(), tiny_model(), moe::SkewProfile::switch_like(),

@@ -10,27 +10,16 @@
 #include "moe/workload.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/cluster.hpp"
+#include "serve_fixtures.hpp"
 
 namespace monde::serve {
 namespace {
 
-moe::MoeModelConfig tiny_model() {
-  moe::MoeModelConfig m = moe::MoeModelConfig::switch_variant(512, 16);
-  m.encoder_blocks = 4;
-  m.decoder_blocks = 4;
-  m.moe_every = 2;  // 2 decoder MoE layers x 16 experts
-  m.name = "tiny-expert-model";
-  return m;
-}
+// The shared fixtures' expert-model variant (2 decoder MoE layers x 16
+// experts, switch_variant defaults for vocab/top_k).
+using fixtures::small_shape;
 
-RequestShape small_shape() {
-  RequestShape s;
-  s.prompt_min = 16;
-  s.prompt_max = 48;
-  s.new_tokens_min = 2;
-  s.new_tokens_max = 8;
-  return s;
-}
+moe::MoeModelConfig tiny_model() { return fixtures::tiny_expert_model(); }
 
 TEST(ExpertProfile, DerivationIsDeterministicAndLayerMajor) {
   moe::WorkloadGenerator a{tiny_model(), moe::SkewProfile::switch_like(), 42};
@@ -275,6 +264,114 @@ TEST(ExpertCluster, DisabledConfigReportsAllZeros) {
   EXPECT_DOUBLE_EQ(rep.expert_hit_rate, 0.0);
   EXPECT_EQ(rep.expert_migrations, 0u);
   EXPECT_EQ(rep.pruned_requests, 0u);
+}
+
+// --- Departing requests release expert residency (evacuate/harvest) ---------
+
+TEST(ExpertServing, EvacuationReleasesDepartingResidencyKeepsWarmSets) {
+  // Request 0 (short) and request 1 (long) share expert (2,0); (3,0) is
+  // request 0's alone and (3,5) request 1's alone. Once 0 has finished and 1
+  // is evacuated, the experts pinned only by in-flight work must leave the
+  // cache with it -- (2,0) because 0's pin was already released at its
+  // finish, (3,5) trivially -- while 0's private (3,0) stays warm: finished
+  // requests leave their experts resident for future overlap.
+  auto engine = core::InferenceEngine{core::SystemConfig::dac24(), tiny_model(),
+                                      moe::SkewProfile::switch_like(),
+                                      core::StrategyKind::kMondeLoadBalanced, 42};
+  ExpertServingConfig expert;
+  expert.enabled = true;
+  expert.cache_capacity = 32;  // roomy: no LRU pressure muddies the test
+  ServerSim server{engine, SchedulerConfig{}, Duration::zero(), FaultSpec{},
+                   PrefixCacheConfig{}, expert};
+  Request a = profiled_request({{2, 0}, {3, 0}});
+  a.id = 0;
+  a.arrival = Duration::zero();
+  a.prompt_len = 16;
+  a.max_new_tokens = 2;
+  Request b = profiled_request({{2, 0}, {3, 5}});
+  b.id = 1;
+  b.arrival = Duration::zero();
+  b.prompt_len = 16;
+  b.max_new_tokens = 512;
+  server.enqueue(a);
+  server.enqueue(b);
+  Duration t = Duration::millis(1);
+  while (server.in_flight() > 1 && t < Duration::seconds(2)) {
+    server.advance_to(t);
+    t += Duration::millis(1);
+  }
+  ASSERT_EQ(server.in_flight(), 1u);  // 0 finished, 1 still decoding
+  ASSERT_TRUE(server.expert_cache().contains({2, 0}));
+  ASSERT_TRUE(server.expert_cache().contains({3, 0}));
+  ASSERT_TRUE(server.expert_cache().contains({3, 5}));
+
+  const std::vector<Request> moved = server.evacuate();
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0].id, 1u);
+  EXPECT_GT(moved[0].resume.resident_tokens(), 0);  // progress annotations intact
+  EXPECT_FALSE(server.expert_cache().contains({2, 0}));
+  EXPECT_FALSE(server.expert_cache().contains({3, 5}));
+  EXPECT_TRUE(server.expert_cache().contains({3, 0}));
+}
+
+TEST(ExpertServing, HarvestAfterFailStopReleasesResidency) {
+  // Same invariant on the failure path: requests stranded by a fail-stop
+  // take their expert pins with them, so a re-homed request re-fetches on
+  // the retry replica instead of phantom-hitting the dead one's cache.
+  auto engine = core::InferenceEngine{core::SystemConfig::dac24(), tiny_model(),
+                                      moe::SkewProfile::switch_like(),
+                                      core::StrategyKind::kMondeLoadBalanced, 42};
+  ExpertServingConfig expert;
+  expert.enabled = true;
+  expert.cache_capacity = 32;
+  FaultSpec fault;
+  fault.fail_at = Duration::millis(5);
+  ServerSim server{engine, SchedulerConfig{}, Duration::zero(), fault,
+                   PrefixCacheConfig{}, expert};
+  Request rq = profiled_request({{2, 1}, {3, 2}});
+  rq.id = 0;
+  rq.arrival = Duration::zero();
+  rq.prompt_len = 16;
+  rq.max_new_tokens = 4096;  // still decoding at the death
+  server.enqueue(rq);
+  server.advance_to(Duration::millis(10));
+  ASSERT_TRUE(server.failed());
+  ASSERT_TRUE(server.expert_cache().contains({2, 1}));  // fetched pre-death
+  const std::vector<Request> stranded = server.harvest_stranded();
+  ASSERT_EQ(stranded.size(), 1u);
+  EXPECT_FALSE(server.expert_cache().contains({2, 1}));
+  EXPECT_FALSE(server.expert_cache().contains({3, 2}));
+}
+
+TEST(ExpertCluster, ScaleDownMigrationCompletesWithExpertServing) {
+  // End-to-end regression for evacuate() x expert residency: a shrinking
+  // fleet live-migrates in-flight profiled requests and every request still
+  // completes exactly once, with expert accounting intact.
+  ClusterConfig cfg;
+  cfg.expert.enabled = true;
+  cfg.expert.cache_capacity = 4;
+  cfg.autoscale_period = Duration::millis(2);
+  cfg.cache.enabled = true;
+  cfg.cache.kv_bytes_per_token = Bytes{16};
+  cfg.cache.migration_bw = Bandwidth::gbps(100.0);
+  cfg.cache.migrate_on_retire = true;
+  ClusterSim cluster{core::SystemConfig::dac24(), tiny_model(),
+                     moe::SkewProfile::switch_like(),
+                     uniform_fleet(2, core::StrategyKind::kMondeLoadBalanced,
+                                   SchedulerConfig{}),
+                     cfg};
+  const auto dispatcher = make_dispatcher(DispatchPolicy::kExpertAffinity, 17);
+  const auto trace = bursty_trace(16, 16, Duration::millis(1), small_shape(), 3);
+  AutoscaleConfig as;
+  as.min_replicas = 1;
+  as.max_replicas = 2;
+  as.high_tokens_per_replica = 1 << 20;  // never grow...
+  as.low_tokens_per_replica = 1 << 19;   // ...always want to shrink
+  const auto autoscaler = make_queue_pressure_autoscaler(as);
+  const ClusterReport rep = cluster.run(trace, *dispatcher, autoscaler.get());
+  ASSERT_EQ(rep.requests.size(), trace.size());
+  EXPECT_GT(rep.migrations, 0u);
+  EXPECT_GT(rep.expert_hits + rep.expert_misses, 0u);
 }
 
 TEST(ExpertCluster, ValidationCatchesBadConfigs) {
