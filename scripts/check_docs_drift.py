@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Fail when the documentation drifts from the source tree.
+
+Three checks over README.md and docs/*.md:
+
+1. every CLI flag token (``--smoke``, ``--json``, ...) quoted in the docs
+   must appear somewhere in the source tree (src/, bench/, tests/,
+   scripts/, examples/, CI workflows, CMakeLists.txt) -- a renamed or
+   removed flag fails here before a user trips over it;
+2. every enumerator-style token in backticks (``kPrefixAffinity``,
+   ``kHandoff``, ...) must appear under src/ -- docs cannot reference
+   enumerators that no longer exist;
+3. docs/DISPATCH.md (the dispatch-policy reference page) must mention
+   every ``DispatchPolicy`` enumerator declared in
+   src/serve/dispatch.hpp *and* every canonical policy name returned by
+   ``to_string`` in src/serve/dispatch.cpp -- adding a policy without
+   documenting it fails CI.
+
+Exits non-zero listing every violation. Run from anywhere inside the
+repository:
+
+    python3 scripts/check_docs_drift.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+FLAG_RE = re.compile(r"--[a-zA-Z][a-zA-Z0-9_-]*")
+ENUM_RE = re.compile(r"`(k[A-Z][A-Za-z0-9]*)`")
+SOURCE_DIRS = ("src", "bench", "tests", "scripts", "examples", ".github")
+SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc", ".py", ".yml", ".yaml", ".cmake", ".txt"}
+
+
+def doc_files(repo_root: Path) -> list[Path]:
+    files = [repo_root / "README.md"]
+    files += sorted((repo_root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def source_files(repo_root: Path) -> list[Path]:
+    files = [repo_root / "CMakeLists.txt"]
+    for d in SOURCE_DIRS:
+        for f in sorted((repo_root / d).rglob("*")):
+            if f.is_file() and f.suffix in SOURCE_SUFFIXES:
+                files.append(f)
+    return [f for f in files if f.is_file()]
+
+
+def known_source_flags(sources: list[Path]) -> set[str]:
+    known: set[str] = set()
+    for f in sources:
+        known.update(FLAG_RE.findall(f.read_text(encoding="utf-8", errors="replace")))
+    return known
+
+
+def check_doc_tokens(md: Path, known_flags: set[str], src_text: str) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+        for flag in FLAG_RE.findall(line):
+            if flag not in known_flags:
+                errors.append(f"{md}:{lineno}: flag {flag} not found in the source tree")
+        for enum in ENUM_RE.findall(line):
+            if enum not in src_text:
+                errors.append(f"{md}:{lineno}: enumerator {enum} not found under src/")
+    return errors
+
+
+def dispatch_policies(repo_root: Path) -> tuple[list[str], list[str]]:
+    """(enumerators, canonical names) of DispatchPolicy, from the sources."""
+    hpp = (repo_root / "src/serve/dispatch.hpp").read_text(encoding="utf-8")
+    enum_body = re.search(r"enum class DispatchPolicy \{(.*?)\n\};", hpp, re.DOTALL)
+    if enum_body is None:
+        raise SystemExit("cannot parse DispatchPolicy from src/serve/dispatch.hpp")
+    enumerators = re.findall(r"^\s*(k[A-Z][A-Za-z0-9]*),", enum_body.group(1), re.MULTILINE)
+    cpp = (repo_root / "src/serve/dispatch.cpp").read_text(encoding="utf-8")
+    names = re.findall(r'case DispatchPolicy::k\w+: return "([^"]+)";', cpp)
+    if not enumerators or not names:
+        raise SystemExit("cannot parse DispatchPolicy enumerators / to_string names")
+    return enumerators, names
+
+
+def check_dispatch_reference(repo_root: Path) -> list[str]:
+    page = repo_root / "docs" / "DISPATCH.md"
+    if not page.is_file():
+        return [f"{page}: missing -- the dispatch-policy reference page is required"]
+    text = page.read_text(encoding="utf-8")
+    enumerators, names = dispatch_policies(repo_root)
+    errors = []
+    for e in enumerators:
+        if e not in text:
+            errors.append(f"{page}: DispatchPolicy::{e} is not documented")
+    for n in names:
+        if n not in text:
+            errors.append(f"{page}: policy name \"{n}\" is not documented")
+    return errors
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    docs = doc_files(repo_root)
+    if not docs:
+        print("no documentation files found -- wrong repository root?")
+        return 1
+    sources = source_files(repo_root)
+    known_flags = known_source_flags(sources)
+    src_text = "\n".join(
+        f.read_text(encoding="utf-8", errors="replace")
+        for f in sources
+        if f.is_relative_to(repo_root / "src")
+    )
+    errors = [e for md in docs for e in check_doc_tokens(md, known_flags, src_text)]
+    errors += check_dispatch_reference(repo_root)
+    for e in errors:
+        print(e)
+    checked = ", ".join(str(f.relative_to(repo_root)) for f in docs)
+    if errors:
+        print(f"\n{len(errors)} doc-drift issue(s) across {checked}")
+        return 1
+    print(f"docs match the source tree ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

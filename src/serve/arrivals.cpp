@@ -19,6 +19,8 @@ void RequestShape::validate() const {
                   "shared_prefix_len must lie in (0, prompt_min] so every group "
                   "member actually carries the prefix");
   }
+  MONDE_REQUIRE(prefix_zipf_s >= 0.0,
+                "prefix_zipf_s must be non-negative, got " << prefix_zipf_s);
 }
 
 namespace {
@@ -45,6 +47,18 @@ class GeneratedStream : public ArrivalStream {
         prefix_rng_{seed ^ 0x9e3779b97f4a7c15ULL} {
     MONDE_REQUIRE(n > 0, "trace needs n > 0 requests, got " << n);
     shape_.validate();
+    // Zipf-skewed group popularity: precompute the CDF once. At the default
+    // s = 0 the table stays empty and the uniform next_below draw below is
+    // untouched, keeping historical traces bit-identical.
+    if (shape_.prefix_groups > 0 && shape_.prefix_zipf_s > 0.0) {
+      const std::vector<double> w =
+          zipf_weights(static_cast<std::size_t>(shape_.prefix_groups), shape_.prefix_zipf_s);
+      prefix_cdf_.reserve(w.size());
+      double acc = 0.0;
+      for (const double wi : w) prefix_cdf_.push_back(acc += wi);
+      const double total = prefix_cdf_.back();
+      for (double& c : prefix_cdf_) c /= total;
+    }
   }
 
   [[nodiscard]] std::optional<Request> next() final {
@@ -55,8 +69,19 @@ class GeneratedStream : public ArrivalStream {
     rq.prompt_len = draw_range(rng_, shape_.prompt_min, shape_.prompt_max);
     rq.max_new_tokens = draw_range(rng_, shape_.new_tokens_min, shape_.new_tokens_max);
     if (shape_.prefix_groups > 0 && prefix_rng_.next_double() < shape_.shared_fraction) {
-      rq.prefix_id =
-          1 + prefix_rng_.next_below(static_cast<std::uint64_t>(shape_.prefix_groups));
+      if (prefix_cdf_.empty()) {
+        rq.prefix_id =
+            1 + prefix_rng_.next_below(static_cast<std::uint64_t>(shape_.prefix_groups));
+      } else {
+        // Zipf-skewed popularity: invert the precomputed CDF (group 1 is
+        // the heaviest tenant).
+        const double u = prefix_rng_.next_double();
+        const auto it = std::upper_bound(prefix_cdf_.begin(), prefix_cdf_.end(), u);
+        rq.prefix_id = 1 + static_cast<std::uint64_t>(it - prefix_cdf_.begin());
+        if (rq.prefix_id > static_cast<std::uint64_t>(shape_.prefix_groups)) {
+          rq.prefix_id = static_cast<std::uint64_t>(shape_.prefix_groups);
+        }
+      }
       rq.shared_prefix_len = std::min(shape_.shared_prefix_len, rq.prompt_len);
     }
     rq.validate();
@@ -75,6 +100,7 @@ class GeneratedStream : public ArrivalStream {
   RequestShape shape_;
   Rng rng_;         ///< prompt-length / decode-budget draws
   Rng prefix_rng_;  ///< shared-prefix group draws
+  std::vector<double> prefix_cdf_;  ///< Zipf group CDF (empty = uniform)
   std::uint64_t next_id_ = 0;
 };
 

@@ -34,11 +34,15 @@ namespace monde::serve {
 /// prompt length and decode budget uniformly from these ranges.
 ///
 /// Shared prefixes: with `prefix_groups` > 0, each request joins one of the
-/// groups (uniformly) with probability `shared_fraction`; group members
-/// share their first `shared_prefix_len` prompt tokens (a system prompt or
-/// few-shot header), which a replica's prefix cache can serve without
-/// re-prefilling. Prefix assignment draws from its own RNG stream, so a
-/// trace's arrivals and shapes are bit-identical with prefixes on or off.
+/// groups with probability `shared_fraction`; group members share their
+/// first `shared_prefix_len` prompt tokens (a system prompt or few-shot
+/// header), which a replica's prefix cache can serve without re-prefilling.
+/// Group membership is uniform by default; `prefix_zipf_s` > 0 skews it
+/// Zipf-style (group 1 most popular), modelling a multi-tenant fleet where
+/// a few tenants dominate traffic. Prefix assignment draws from its own RNG
+/// stream, so a trace's arrivals and shapes are bit-identical with prefixes
+/// on or off -- and at the default `prefix_zipf_s = 0` the group draw is
+/// bit-identical to the historical uniform draw.
 struct RequestShape {
   std::int64_t prompt_min = 64;
   std::int64_t prompt_max = 256;
@@ -47,6 +51,7 @@ struct RequestShape {
   int prefix_groups = 0;            ///< shared-prefix groups (0 disables)
   double shared_fraction = 0.0;     ///< probability a request joins a group
   std::int64_t shared_prefix_len = 0;  ///< tokens shared (capped to the prompt)
+  double prefix_zipf_s = 0.0;       ///< Zipf skew of group popularity (0 = uniform)
 
   void validate() const;
 };

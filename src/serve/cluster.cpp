@@ -133,6 +133,7 @@ std::vector<ReplicaSnapshot> ClusterSim::snapshots(Duration now) const {
                                    .ms(),
                                r.ewma_ms,
                                r.server->expert_signature(),
+                               r.server->prefix_signature(),
                                r.prefill};
   }
   return snaps;
@@ -336,6 +337,7 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
                                .ms(),
                            r.ewma_ms,
                            r.server->expert_signature(),
+                           r.server->prefix_signature(),
                            r.prefill};
   };
 
@@ -490,6 +492,7 @@ ClusterReport ClusterSim::run(ArrivalStream& arrivals, Dispatcher& dispatcher,
     s.outstanding_tokens = replicas_[i].server->outstanding_tokens();
     s.step_ewma_ms = replicas_[i].ewma_ms;
     s.expert_sig = replicas_[i].server->expert_signature();
+    s.prefix_sig = replicas_[i].server->prefix_signature();
     if (ewma_filter) {
       if (fpos[i] != kNoSlot) fast_eligible[fpos[i]] = s;  // mirror load fields
       filter_update(i, old_ewma, s.step_ewma_ms);

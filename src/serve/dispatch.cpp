@@ -1,12 +1,15 @@
 #include "serve/dispatch.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
+#include <map>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "moe/expert_profile.hpp"
+#include "serve/kvcache.hpp"
 
 namespace monde::serve {
 namespace {
@@ -78,11 +81,11 @@ class PowerOfTwoChoicesDispatcher final : public Dispatcher {
   Rng rng_;
 };
 
-/// Shared by the gating-aware policies: a power-of-two load spill-over.
-/// Affinity concentrates hot experts, but a popular expert must not melt its
-/// home replica -- so after the affinity choice, probe two random replicas
-/// and defect to the less-loaded probe when the choice carries more than
-/// twice its outstanding tokens. Deterministic given the RNG stream.
+/// Shared by the residency-aware policies: a power-of-two load spill-over.
+/// Affinity concentrates hot state (experts, shared prefixes), but a popular
+/// home must not melt -- so after the affinity choice, probe two random
+/// replicas and defect to the less-loaded probe when the choice carries more
+/// than twice its outstanding tokens. Deterministic given the RNG stream.
 std::size_t spill_over(const std::vector<ReplicaSnapshot>& snapshots, std::size_t choice,
                        Rng& rng) {
   const std::size_t n = snapshots.size();
@@ -166,6 +169,174 @@ class ExpertShardedDispatcher final : public Dispatcher {
   Rng rng_;
 };
 
+/// Ring point of one virtual node: the murmur finalizer over the packed
+/// (replica, vnode) pair. Pure in its inputs, so every dispatcher instance
+/// (and both cluster loops) places the same replica at the same points.
+std::uint64_t ring_point(std::size_t replica, std::uint32_t vnode) {
+  std::uint64_t x = (static_cast<std::uint64_t>(replica) << 8) | vnode;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 29;
+  return x;
+}
+
+/// Consistent-hash-ring routing on the request's shared prefix id.
+///
+/// Each replica in the current view owns kVnodes pseudo-random points on a
+/// 64-bit ring; a request walks clockwise from hash(prefix_id) to the first
+/// point. Membership is diffed against the view on every routed pick, so a
+/// spawn/retire/death only moves the keys whose successor point changed --
+/// an expected `changed/fleet` share of the keyspace -- while every other
+/// prefix group keeps its home (and its resident prefix KV). A bounded-load
+/// spill-over (power-of-two probes) protects a popular group's home from
+/// melting. Requests with no shared prefix, and decode-phase requests (no
+/// prefill left to save), fall back to least-outstanding-tokens.
+class PrefixHashDispatcher final : public Dispatcher {
+ public:
+  explicit PrefixHashDispatcher(std::uint64_t seed) : rng_{seed} {}
+
+  [[nodiscard]] std::string name() const override { return "prefix-hash"; }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    return argmin_load(snapshots,
+                       [](const ReplicaSnapshot& s) { return s.outstanding_tokens; });
+  }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots,
+                   const Request& rq) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    if (rq.prefix_id == 0 || rq.decode_phase()) return pick(snapshots);
+    sync_ring(snapshots);
+    // Walk clockwise from the key to the first virtual node (wrapping).
+    std::uint64_t key = rq.prefix_id;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    key *= 0xc4ceb9fe1a85ec53ULL;
+    key ^= key >> 29;
+    auto it = ring_.lower_bound(key);
+    if (it == ring_.end()) it = ring_.begin();
+    const std::size_t home_replica = it->second;
+    std::size_t home = 0;
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+      if (snapshots[i].replica == home_replica) {
+        home = i;
+        break;
+      }
+    }
+    return spill_over(snapshots, home, rng_);
+  }
+
+ private:
+  /// Virtual nodes per replica: enough to keep per-replica keyspace shares
+  /// near-uniform (stddev ~ 1/sqrt(kVnodes)) without bloating the ring.
+  static constexpr std::uint32_t kVnodes = 32;
+
+  /// Reconcile ring membership with the view. The common no-change case is
+  /// one O(view) sorted compare; a membership change costs O(changed x
+  /// kVnodes x log ring). Keyed on ReplicaSnapshot::replica -- the stable
+  /// identity across health/pool filtering and fleet resizes.
+  void sync_ring(const std::vector<ReplicaSnapshot>& snapshots) {
+    seen_.clear();
+    seen_.reserve(snapshots.size());
+    for (const ReplicaSnapshot& s : snapshots) seen_.push_back(s.replica);
+    std::sort(seen_.begin(), seen_.end());
+    if (seen_ == members_) return;
+    // Merge-walk the sorted member lists; only the symmetric difference
+    // touches the ring, so unchanged replicas keep their points (and the
+    // keys mapped to them).
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < members_.size() || j < seen_.size()) {
+      if (j == seen_.size() || (i < members_.size() && members_[i] < seen_[j])) {
+        remove_points(members_[i]);
+        ++i;
+      } else if (i == members_.size() || seen_[j] < members_[i]) {
+        add_points(seen_[j]);
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+    members_ = seen_;
+  }
+
+  void add_points(std::size_t replica) {
+    for (std::uint32_t v = 0; v < kVnodes; ++v) {
+      // On a (vanishingly rare) 64-bit point collision the lower replica
+      // index wins deterministically; the loser just runs one vnode short.
+      auto [it, inserted] = ring_.emplace(ring_point(replica, v), replica);
+      if (!inserted && replica < it->second) it->second = replica;
+    }
+  }
+
+  void remove_points(std::size_t replica) {
+    for (std::uint32_t v = 0; v < kVnodes; ++v) {
+      const auto it = ring_.find(ring_point(replica, v));
+      if (it != ring_.end() && it->second == replica) ring_.erase(it);
+    }
+  }
+
+  Rng rng_;
+  std::map<std::uint64_t, std::size_t> ring_;  ///< point -> replica id
+  std::vector<std::size_t> members_;           ///< sorted replica ids on the ring
+  std::vector<std::size_t> seen_;              ///< scratch for the per-pick diff
+};
+
+/// Power-of-two choices restricted to replicas whose snapshot signature
+/// says the request's shared prefix is resident *right now* -- the sharpest
+/// locality signal available (kPrefixHash routes on where the prefix
+/// *should* live; this routes on where it verifiably does). Falls back to
+/// least-outstanding-tokens when no holder exists (the first arrival of a
+/// group seeds a home wherever the load is lowest), for prefix-less
+/// requests, and for decode-phase work. The spill-over keeps a saturated
+/// holder from absorbing its whole group.
+class PrefixAffinityDispatcher final : public Dispatcher {
+ public:
+  explicit PrefixAffinityDispatcher(std::uint64_t seed) : rng_{seed} {}
+
+  [[nodiscard]] std::string name() const override { return "prefix-affinity"; }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    return argmin_load(snapshots,
+                       [](const ReplicaSnapshot& s) { return s.outstanding_tokens; });
+  }
+
+  std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots,
+                   const Request& rq) override {
+    MONDE_REQUIRE(!snapshots.empty(), "dispatcher needs at least one replica");
+    if (rq.prefix_id == 0 || rq.decode_phase()) return pick(snapshots);
+    const std::uint64_t bit = std::uint64_t{1} << prefix_signature_bit(rq.prefix_id);
+    holders_.clear();
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+      if ((snapshots[i].prefix_sig & bit) != 0) holders_.push_back(i);
+    }
+    if (holders_.empty()) return pick(snapshots);
+    std::size_t choice = holders_.front();
+    if (holders_.size() > 1) {
+      // Two distinct uniform probes among the holders; fewer outstanding
+      // tokens wins, lower index on ties.
+      const std::size_t h = holders_.size();
+      std::size_t a = static_cast<std::size_t>(rng_.next_below(h));
+      std::size_t b = static_cast<std::size_t>(rng_.next_below(h - 1));
+      if (b >= a) ++b;
+      if (a > b) std::swap(a, b);
+      choice = snapshots[holders_[b]].outstanding_tokens <
+                       snapshots[holders_[a]].outstanding_tokens
+                   ? holders_[b]
+                   : holders_[a];
+    }
+    return spill_over(snapshots, choice, rng_);
+  }
+
+ private:
+  Rng rng_;
+  std::vector<std::size_t> holders_;  ///< scratch: view indices holding the prefix
+};
+
 }  // namespace
 
 std::string to_string(DispatchPolicy policy) {
@@ -176,6 +347,8 @@ std::string to_string(DispatchPolicy policy) {
     case DispatchPolicy::kPowerOfTwoChoices: return "power-of-two";
     case DispatchPolicy::kExpertAffinity: return "expert-affinity";
     case DispatchPolicy::kExpertSharded: return "expert-sharded";
+    case DispatchPolicy::kPrefixHash: return "prefix-hash";
+    case DispatchPolicy::kPrefixAffinity: return "prefix-affinity";
   }
   MONDE_ASSERT(false, "unknown dispatch policy");
   return {};
@@ -189,10 +362,26 @@ std::vector<DispatchPolicy> all_dispatch_policies() {
 std::vector<ReplicaSnapshot> eligible_snapshots(const std::vector<ReplicaSnapshot>& all,
                                                 double slow_ewma_factor,
                                                 double stale_age_ms) {
-  std::vector<ReplicaSnapshot> eligible;
-  eligible.reserve(all.size());
+  // No-filter fast path: with every replica accepting and fresh (the common
+  // all-healthy case) the element-wise loop below just rebuilds the input
+  // one push_back at a time; take a single bulk copy instead (snapshots are
+  // trivially copyable, so this is one memcpy-sized assignment). Same
+  // result by construction -- pinned by a regression test.
+  bool all_pass = true;
   for (const ReplicaSnapshot& s : all) {
-    if (s.accepting && s.heartbeat_age_ms <= stale_age_ms) eligible.push_back(s);
+    if (!s.accepting || s.heartbeat_age_ms > stale_age_ms) {
+      all_pass = false;
+      break;
+    }
+  }
+  std::vector<ReplicaSnapshot> eligible;
+  if (all_pass) {
+    eligible = all;
+  } else {
+    eligible.reserve(all.size());
+    for (const ReplicaSnapshot& s : all) {
+      if (s.accepting && s.heartbeat_age_ms <= stale_age_ms) eligible.push_back(s);
+    }
   }
   MONDE_REQUIRE(!eligible.empty(),
                 "no replica is accepting requests (every replica failed or retired)");
@@ -245,6 +434,10 @@ std::unique_ptr<Dispatcher> make_dispatcher(DispatchPolicy policy, std::uint64_t
       return std::make_unique<ExpertAffinityDispatcher>(seed);
     case DispatchPolicy::kExpertSharded:
       return std::make_unique<ExpertShardedDispatcher>(seed);
+    case DispatchPolicy::kPrefixHash:
+      return std::make_unique<PrefixHashDispatcher>(seed);
+    case DispatchPolicy::kPrefixAffinity:
+      return std::make_unique<PrefixAffinityDispatcher>(seed);
   }
   MONDE_ASSERT(false, "unknown dispatch policy");
   return nullptr;

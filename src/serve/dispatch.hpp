@@ -2,7 +2,8 @@
 //
 // A ClusterSim (cluster.hpp) fronts N replica servers with one dispatcher:
 // at every request's arrival instant the dispatcher sees a load snapshot of
-// each replica and picks where the request goes. Four classic policies:
+// each replica and picks where the request goes. Four classic load-only
+// policies:
 //
 //   * round-robin             -- rotate through replicas, load-oblivious;
 //     the baseline every load balancer starts from.
@@ -14,6 +15,13 @@
 //   * power-of-two-choices    -- sample two random replicas, keep the
 //     shorter queue; near-JSQ tail latency while probing O(1) replicas
 //     (Mitzenmacher's "power of two choices").
+//
+// plus four residency-aware policies that additionally read what is already
+// *resident* on each replica -- expert weights (kExpertAffinity /
+// kExpertSharded, serve/expert.hpp) or shared KV prefixes (kPrefixHash /
+// kPrefixAffinity, serve/kvcache.hpp). docs/DISPATCH.md is the reference
+// page: the full policy matrix, each policy's snapshot-field dependencies,
+// and the tie-break rules.
 //
 // Policies are deterministic given their seed; ties break toward the lowest
 // replica index.
@@ -56,23 +64,36 @@
 
 namespace monde::serve {
 
+/// Which dispatcher make_dispatcher() builds. Every enumerator is documented
+/// in docs/DISPATCH.md (policy matrix, snapshot-field dependencies,
+/// tie-break rules); the residency-aware ones are opt-in and reduce to
+/// kLeastOutstandingTokens when the state they route on is absent.
 enum class DispatchPolicy {
-  kRoundRobin,
-  kJoinShortestQueue,
-  kLeastOutstandingTokens,
-  kPowerOfTwoChoices,
+  kRoundRobin,              ///< rotate through replicas, load-oblivious
+  kJoinShortestQueue,       ///< fewest in-flight requests wins
+  kLeastOutstandingTokens,  ///< fewest still-owed tokens wins
+  kPowerOfTwoChoices,       ///< two random probes, lighter queue wins
   // Gating-aware policies (expert-aware serving, serve/expert.hpp). They
-  // read the request's ExpertProfile and the replicas' residency
+  // read the request's ExpertProfile and the replicas' expert residency
   // signatures; with both absent they reduce to least-outstanding-tokens.
   kExpertAffinity,  ///< best hot-set overlap, power-of-two load spill-over
   kExpertSharded,   ///< heavy experts hash-partitioned across the fleet
+  // Prefix-locality policies (KV-cache-aware serving, serve/kvcache.hpp).
+  // They route on the request's shared `prefix_id` so group members land
+  // where the group's prefix KV is (or will become) resident; requests
+  // without a shared prefix -- and decode-phase work, which has no prefill
+  // left to save -- fall back to least-outstanding-tokens.
+  kPrefixHash,      ///< consistent-hash ring on prefix_id, load spill-over
+  kPrefixAffinity,  ///< power-of-two choices among resident prefix-holders
 };
 
+/// Canonical policy name ("round-robin", "prefix-affinity", ...), used in
+/// bench banners and docs; docs/DISPATCH.md keys its matrix on these.
 [[nodiscard]] std::string to_string(DispatchPolicy policy);
 
 /// The four classic load-only policies, in enum order (for benches and tests
 /// that sweep them; the budget-pinned sweeps rely on this set staying
-/// fixed). The gating-aware policies are opted into explicitly.
+/// fixed). The residency-aware policies are opted into explicitly.
 [[nodiscard]] std::vector<DispatchPolicy> all_dispatch_policies();
 
 /// One replica's live load and health as the dispatcher sees it at a
@@ -92,6 +113,12 @@ struct ReplicaSnapshot {
   /// Gating-aware policies AND it with the request's profile signature to
   /// estimate hot-set overlap in one popcount.
   std::uint64_t expert_sig = 0;
+  /// Compact shared-prefix residency: the replica's KvCache signature
+  /// (serve/kvcache.hpp, `prefix_signature()`), 0 when the prefix cache is
+  /// disabled or empty. kPrefixAffinity tests the request's
+  /// `prefix_signature_bit` against it to find prefix-holders; a set bit is
+  /// Bloom-approximate (possible false positive, never a false negative).
+  std::uint64_t prefix_sig = 0;
   /// Disaggregated serving (serve/disagg.hpp): true for a prefill-specialist
   /// replica. False when disaggregation is disabled (the whole fleet is then
   /// one unified decode-capable pool), so hand-built snapshots keep working.
@@ -99,7 +126,9 @@ struct ReplicaSnapshot {
 };
 
 /// A dispatch policy. pick() is called once per request, in arrival order;
-/// implementations may carry state (rotation counter, RNG stream).
+/// implementations may carry state (rotation counter, RNG stream, the
+/// consistent-hash ring), so picks are deterministic in the *sequence* of
+/// (snapshots, request) pairs seen since construction.
 class Dispatcher {
  public:
   virtual ~Dispatcher() = default;
@@ -110,10 +139,10 @@ class Dispatcher {
   /// per replica, in replica order; the returned index refers into it.
   [[nodiscard]] virtual std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots) = 0;
 
-  /// Request-aware overload used by the cluster: gating-aware policies read
-  /// the request's expert profile; every load-only policy ignores the
-  /// request and forwards to pick(snapshots), so stock policies behave
-  /// identically through either entry point.
+  /// Request-aware overload used by the cluster: residency-aware policies
+  /// read the request's expert profile or shared prefix id; every load-only
+  /// policy ignores the request and forwards to pick(snapshots), so stock
+  /// policies behave identically through either entry point.
   [[nodiscard]] virtual std::size_t pick(const std::vector<ReplicaSnapshot>& snapshots,
                                          const Request& rq) {
     (void)rq;
@@ -122,7 +151,8 @@ class Dispatcher {
 };
 
 /// Builds a fresh dispatcher. `seed` feeds the randomized policies
-/// (power-of-two choices); everything is deterministic given it.
+/// (power-of-two choices and every residency-aware policy's load
+/// spill-over probes); everything is deterministic given it.
 [[nodiscard]] std::unique_ptr<Dispatcher> make_dispatcher(DispatchPolicy policy,
                                                           std::uint64_t seed = 42);
 

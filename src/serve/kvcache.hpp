@@ -46,6 +46,21 @@
 
 namespace monde::serve {
 
+/// Signature bit a shared prefix occupies in the 64-bit residency summary
+/// (see KvCache::prefix_signature). Same murmur-finalizer family as
+/// moe::expert_signature_bit so both residency views hash comparably well.
+/// Deterministic in `prefix_id` alone -- dispatchers and caches agree on
+/// the bit without sharing state. `prefix_id` 0 ("no shared prefix") is
+/// never inserted, so its bit value is irrelevant.
+[[nodiscard]] inline int prefix_signature_bit(std::uint64_t prefix_id) {
+  std::uint64_t x = prefix_id;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 29;
+  return static_cast<int>(x & 63);
+}
+
 /// Per-replica prefix-cache knobs. The default (`enabled = false`) is inert:
 /// no residency tracking, no prefill savings, retries restart from scratch.
 struct PrefixCacheConfig {
@@ -150,6 +165,17 @@ class KvCache {
   [[nodiscard]] std::int64_t resident_tokens() const { return pinned_tokens_ + shared_tokens_; }
   [[nodiscard]] const PrefixCacheStats& stats() const { return stats_; }
 
+  /// Compact residency view for dispatch snapshots: the OR of
+  /// `prefix_signature_bit` over every resident shared prefix, maintained
+  /// incrementally alongside the LRU (per-bit reference counts, so two
+  /// prefixes colliding on a bit keep it set until *both* leave). A set bit
+  /// means "some prefix hashing there is resident" -- a Bloom-style
+  /// approximation with false positives but no false negatives, which is
+  /// the right direction for affinity routing: a spurious hit costs one
+  /// ordinary prefill, a missed resident prefix would waste the cache.
+  /// 0 whenever nothing is resident (and always, when disabled).
+  [[nodiscard]] std::uint64_t prefix_signature() const { return signature_; }
+
  private:
   struct SharedEntry {
     std::uint64_t prefix_id = 0;
@@ -166,6 +192,8 @@ class KvCache {
 
   void evict_over_capacity();
   void note_resident_peak();
+  void signature_add(std::uint64_t prefix_id);
+  void signature_remove(std::uint64_t prefix_id);
 
   PrefixCacheConfig cfg_;
   PrefixCacheStats stats_;
@@ -176,6 +204,9 @@ class KvCache {
   std::list<SharedEntry> lru_;
   std::unordered_map<std::uint64_t, std::list<SharedEntry>::iterator> shared_;
   std::int64_t shared_tokens_ = 0;
+  /// Residency signature over `shared_` (see prefix_signature()).
+  std::uint64_t signature_ = 0;
+  std::uint32_t sig_counts_[64] = {};  ///< resident prefixes mapped onto each bit
 };
 
 }  // namespace monde::serve

@@ -285,6 +285,10 @@ class ServerSim {
   /// 64-bit signature, 0 while nothing is resident (or serving disabled).
   [[nodiscard]] std::uint64_t expert_signature() const { return expert_cache_.signature(); }
 
+  /// Compact shared-prefix residency for dispatch snapshots: the KV cache's
+  /// 64-bit signature, 0 while no shared prefix is resident (or disabled).
+  [[nodiscard]] std::uint64_t prefix_signature() const { return cache_.prefix_signature(); }
+
   /// Cross-replica rebalancing entry point: make `ids` resident, evicting
   /// LRU experts as needed. Each newly fetched expert's transfer time is
   /// accumulated and charged to the NEXT step this replica runs (the

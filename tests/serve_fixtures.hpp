@@ -144,6 +144,7 @@ inline void expect_reports_identical(const ClusterReport& a, const ClusterReport
 /// (stateful) dispatchers/autoscalers, and demand bit-identical reports.
 struct Scenario {
   std::vector<Request> trace;
+  RequestShape shape{};  ///< envelope the trace was drawn from (metadata only)
   std::vector<ReplicaSpec> specs;
   ClusterConfig cfg;
   DispatchPolicy policy = DispatchPolicy::kJoinShortestQueue;

@@ -195,6 +195,77 @@ TEST(CalendarDiff, ExpertServingWithFailuresAndAutoscale) {
   expect_loops_agree(sc);
 }
 
+// A multi-tenant shared-prefix shape: most requests join one of a few
+// Zipf-skewed groups, so the prefix caches fill and the prefix_sig
+// snapshot field actually carries bits through the write-through paths.
+RequestShape prefix_shape() {
+  RequestShape shape = small_shape();
+  shape.prefix_groups = 4;
+  shape.shared_fraction = 0.8;
+  shape.shared_prefix_len = 12;
+  shape.prefix_zipf_s = 1.0;
+  return shape;
+}
+
+TEST(CalendarDiff, PrefixHashRoutingAgrees) {
+  Scenario sc;
+  sc.trace = poisson_trace(32, 300.0, prefix_shape(), 21);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.cfg.cache.enabled = true;
+  sc.cfg.cache.capacity_tokens = 4096;
+  sc.policy = DispatchPolicy::kPrefixHash;
+  expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, PrefixAffinityRoutingAgrees) {
+  Scenario sc;
+  sc.trace = poisson_trace(32, 300.0, prefix_shape(), 21);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.cfg.cache.enabled = true;
+  sc.cfg.cache.capacity_tokens = 4096;
+  sc.policy = DispatchPolicy::kPrefixAffinity;
+  expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, PrefixRoutingWithFaultsAndAutoscale) {
+  // Ring membership under churn: a fail-stop mid-trace plus autoscale
+  // spawns/retirements -- the consistent-hash ring (and the prefix_sig
+  // write-through on migration) must re-home identically in both loops.
+  Scenario sc;
+  sc.trace = bursty_trace(28, 7, Duration::millis(25), prefix_shape(), 19);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.specs[1].fault.fail_at = Duration::millis(35);
+  sc.cfg.cache.enabled = true;
+  sc.cfg.cache.capacity_tokens = 2048;
+  sc.cfg.cache.survive_failstop = true;
+  sc.cfg.cache.migrate_on_retire = true;
+  sc.cfg.retry_timeout = Duration::millis(2);
+  sc.cfg.warmup = Duration::millis(2);
+  sc.cfg.autoscale_period = Duration::millis(3);
+  sc.policy = DispatchPolicy::kPrefixHash;
+  sc.autoscaled = true;
+  sc.autoscale.min_replicas = 2;
+  sc.autoscale.max_replicas = 5;
+  sc.autoscale.high_tokens_per_replica = 96;
+  sc.autoscale.low_tokens_per_replica = 8;
+  expect_loops_agree(sc);
+}
+
+TEST(CalendarDiff, PrefixAffinityWithDisaggPools) {
+  // Affinity composes with disaggregation: the prefill pool is where the
+  // prefix routing applies; handoffs land decode-phase work via the
+  // least-outstanding fallback.
+  Scenario sc;
+  sc.trace = poisson_trace(28, 250.0, prefix_shape(), 23);
+  sc.specs = uniform_fleet(4, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.cfg.disagg.enabled = true;
+  sc.cfg.disagg.prefill_replicas = 2;
+  sc.cfg.cache.enabled = true;
+  sc.cfg.cache.capacity_tokens = 4096;
+  sc.policy = DispatchPolicy::kPrefixAffinity;
+  expect_loops_agree(sc);
+}
+
 TEST(CalendarDiff, ExpertDisabledConfigIsInert) {
   // A disabled expert config -- even with every other knob tuned -- must
   // leave the run bit-identical to a default-constructed one: the off
@@ -280,6 +351,16 @@ TEST(ParallelDiff, ExpertServingAcrossThreads) {
   sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
   sc.cfg.expert = diff_expert_config();
   sc.policy = DispatchPolicy::kExpertAffinity;
+  expect_threads_agree(sc);
+}
+
+TEST(ParallelDiff, PrefixRoutingAcrossThreads) {
+  Scenario sc;
+  sc.trace = poisson_trace(32, 300.0, prefix_shape(), 21);
+  sc.specs = uniform_fleet(3, core::StrategyKind::kMondeLoadBalanced, SchedulerConfig{});
+  sc.cfg.cache.enabled = true;
+  sc.cfg.cache.capacity_tokens = 4096;
+  sc.policy = DispatchPolicy::kPrefixAffinity;
   expect_threads_agree(sc);
 }
 

@@ -146,6 +146,88 @@ TEST(KvCache, DropPinnedKeepsRetainedPrefixes) {
   EXPECT_EQ(cache.saved_tokens(request(3, 32, 4, /*prefix_id=*/5, /*shared_len=*/16)), 16);
 }
 
+TEST(KvCache, PrefixSignatureTracksResidencyIncrementally) {
+  KvCache cache{enabled_config()};
+  EXPECT_EQ(cache.prefix_signature(), 0u);
+  cache.admit(request(1, 32, 4, /*prefix_id=*/5, /*shared_len=*/16), 0);
+  const std::uint64_t bit5 = std::uint64_t{1} << prefix_signature_bit(5);
+  EXPECT_EQ(cache.prefix_signature(), bit5);
+  // A second admission of the same group sets nothing new; a different
+  // group ORs its own bit in.
+  cache.admit(request(2, 32, 4, /*prefix_id=*/5, /*shared_len=*/16), 16);
+  cache.admit(request(3, 32, 4, /*prefix_id=*/9, /*shared_len=*/16), 0);
+  const std::uint64_t bit9 = std::uint64_t{1} << prefix_signature_bit(9);
+  EXPECT_EQ(cache.prefix_signature(), bit5 | bit9);
+  // Completion retains the prefix: the signature advertises it to
+  // dispatchers precisely because later arrivals would hit it.
+  cache.complete(1);
+  cache.complete(2);
+  cache.complete(3);
+  EXPECT_EQ(cache.prefix_signature(), bit5 | bit9);
+  // Harvest/evacuation unpins but keeps retained prefixes -- and their bits.
+  cache.drop_pinned();
+  EXPECT_EQ(cache.prefix_signature(), bit5 | bit9);
+  // Prefix-less admissions never touch the signature.
+  cache.admit(request(4, 48, 4), 0);
+  EXPECT_EQ(cache.prefix_signature(), bit5 | bit9);
+}
+
+TEST(KvCache, PrefixSignatureClearsOnEviction) {
+  // Capacity fits exactly two 32-token retained prefixes.
+  KvCache cache{enabled_config(/*capacity=*/64)};
+  for (std::uint64_t g = 1; g <= 2; ++g) {
+    cache.admit(request(g, 32, 4, /*prefix_id=*/g, /*shared_len=*/32), 0);
+    cache.complete(g);
+  }
+  const std::uint64_t bit1 = std::uint64_t{1} << prefix_signature_bit(1);
+  const std::uint64_t bit2 = std::uint64_t{1} << prefix_signature_bit(2);
+  EXPECT_EQ(cache.prefix_signature(), bit1 | bit2);
+  // A third group overflows the capacity: the LRU entry (group 1) is
+  // evicted and its bit drops out of the signature.
+  cache.admit(request(3, 32, 4, /*prefix_id=*/3, /*shared_len=*/32), 0);
+  cache.complete(3);
+  const std::uint64_t bit3 = std::uint64_t{1} << prefix_signature_bit(3);
+  EXPECT_EQ(cache.prefix_signature(), bit2 | bit3);
+}
+
+TEST(KvCache, PrefixSignatureRefcountsBitCollisions) {
+  // The 64-bit signature is Bloom-style: two groups may hash to one bit.
+  // Find a colliding pair, make both resident, then evict one -- the bit
+  // must stay set until the OTHER leaves too (per-bit refcounts).
+  const int target = prefix_signature_bit(1);
+  std::uint64_t other = 2;
+  while (prefix_signature_bit(other) != target) ++other;
+  // Capacity fits both 16-token prefixes plus slack.
+  KvCache cache{enabled_config(/*capacity=*/32)};
+  cache.admit(request(1, 16, 4, /*prefix_id=*/1, /*shared_len=*/16), 0);
+  cache.complete(1);
+  cache.admit(request(2, 16, 4, other, /*shared_len=*/16), 0);
+  cache.complete(2);
+  const std::uint64_t bit = std::uint64_t{1} << target;
+  EXPECT_EQ(cache.prefix_signature(), bit);
+  // Filler groups must NOT hash to the target bit, or they would mask the
+  // refcount under test.
+  std::uint64_t filler1 = other + 1;
+  while (prefix_signature_bit(filler1) == target) ++filler1;
+  std::uint64_t filler2 = filler1 + 1;
+  while (prefix_signature_bit(filler2) == target) ++filler2;
+  // Overflow once: group 1 (LRU) is evicted, but `other` still holds the bit.
+  cache.admit(request(3, 16, 4, filler1, /*shared_len=*/16), 0);
+  cache.complete(3);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.prefix_signature() & bit, bit);
+  // Overflow again: `other` goes too and the bit finally clears.
+  cache.admit(request(4, 16, 4, filler2, /*shared_len=*/16), 0);
+  cache.complete(4);
+  EXPECT_EQ(cache.prefix_signature() & bit, 0u);
+}
+
+TEST(KvCache, DisabledCacheHasEmptySignature) {
+  KvCache cache{PrefixCacheConfig{}};
+  cache.admit(request(1, 32, 4, /*prefix_id=*/5, /*shared_len=*/16), 0);
+  EXPECT_EQ(cache.prefix_signature(), 0u);
+}
+
 TEST(KvCache, TransferTimeIsTokensTimesBytesOverBandwidth) {
   PrefixCacheConfig cfg = enabled_config();
   cfg.kv_bytes_per_token = Bytes::kib(64);

@@ -1,0 +1,223 @@
+// Unit tests for the prefix-locality dispatch policies (serve/dispatch.hpp):
+// consistent-hash-ring determinism and bounded key movement for kPrefixHash,
+// holder-restricted power-of-two choices for kPrefixAffinity, the shared
+// load spill-over, and the eligible_snapshots() no-filter fast path.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/dispatch.hpp"
+#include "serve/kvcache.hpp"
+
+namespace monde::serve {
+namespace {
+
+/// `n` healthy replicas with equal load, ids 0..n-1. Equal outstanding
+/// tokens keep the spill-over from ever defecting (a probe is "better" only
+/// when the choice carries MORE than twice its tokens), so picks expose the
+/// ring / holder choice directly.
+std::vector<ReplicaSnapshot> even_fleet(std::size_t n) {
+  std::vector<ReplicaSnapshot> snaps;
+  for (std::size_t i = 0; i < n; ++i) snaps.push_back({i, 1, 100});
+  return snaps;
+}
+
+Request prefix_request(std::uint64_t id, std::uint64_t prefix_id) {
+  Request rq;
+  rq.id = id;
+  rq.prompt_len = 64;
+  rq.max_new_tokens = 8;
+  rq.prefix_id = prefix_id;
+  rq.shared_prefix_len = prefix_id != 0 ? 16 : 0;
+  return rq;
+}
+
+/// The ring home of every probe key under one dispatcher instance.
+std::vector<std::size_t> homes(Dispatcher& d, const std::vector<ReplicaSnapshot>& snaps,
+                               std::size_t keys) {
+  std::vector<std::size_t> out;
+  out.reserve(keys);
+  for (std::size_t k = 0; k < keys; ++k) {
+    out.push_back(snaps[d.pick(snaps, prefix_request(k, k + 1))].replica);
+  }
+  return out;
+}
+
+TEST(PrefixHash, RingPlacementIsSeedIndependent) {
+  // The ring is placed by a pure hash -- the seed feeds only the spill-over
+  // probes, which never defect on an evenly loaded fleet. Two dispatchers
+  // with different seeds must therefore agree on every home.
+  const auto snaps = even_fleet(8);
+  auto a = make_dispatcher(DispatchPolicy::kPrefixHash, 1);
+  auto b = make_dispatcher(DispatchPolicy::kPrefixHash, 999);
+  EXPECT_EQ(homes(*a, snaps, 256), homes(*b, snaps, 256));
+}
+
+TEST(PrefixHash, SameGroupAlwaysLandsOnItsHome) {
+  const auto snaps = even_fleet(5);
+  auto d = make_dispatcher(DispatchPolicy::kPrefixHash, 7);
+  const std::size_t home = d->pick(snaps, prefix_request(0, 42));
+  for (std::uint64_t id = 1; id < 50; ++id) {
+    EXPECT_EQ(d->pick(snaps, prefix_request(id, 42)), home);
+  }
+}
+
+TEST(PrefixHash, BoundedMovementOnReplicaAdd) {
+  auto d = make_dispatcher(DispatchPolicy::kPrefixHash, 7);
+  constexpr std::size_t kKeys = 2000;
+  const auto before = homes(*d, even_fleet(8), kKeys);
+  const auto after = homes(*d, even_fleet(9), kKeys);  // spawn replica 8
+  std::size_t moved = 0;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    if (before[k] != after[k]) {
+      ++moved;
+      // Consistent hashing moves keys only TO the new replica, never
+      // between surviving ones.
+      EXPECT_EQ(after[k], 8u);
+    }
+  }
+  // Expected moved share is 1/9 of the keyspace; allow 2x for hash variance.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, 2 * kKeys / 9);
+}
+
+TEST(PrefixHash, BoundedMovementOnReplicaRemoval) {
+  // Retire/death: the departed replica's keys scatter to survivors; every
+  // other key keeps its home. Removal is just membership absence, so this
+  // covers retire and detected-death alike.
+  auto d = make_dispatcher(DispatchPolicy::kPrefixHash, 7);
+  constexpr std::size_t kKeys = 2000;
+  const auto before = homes(*d, even_fleet(8), kKeys);
+  auto shrunk = even_fleet(8);
+  shrunk.erase(shrunk.begin() + 3);  // replica 3 died
+  const auto after = homes(*d, shrunk, kKeys);
+  std::size_t moved = 0;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    if (before[k] != after[k]) {
+      ++moved;
+      EXPECT_EQ(before[k], 3u);  // only the dead replica's keys re-home
+      EXPECT_NE(after[k], 3u);
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, 2 * kKeys / 8);
+}
+
+TEST(PrefixHash, SpillOverLeavesSaturatedHome) {
+  auto d = make_dispatcher(DispatchPolicy::kPrefixHash, 7);
+  auto snaps = even_fleet(6);
+  const std::size_t home = d->pick(snaps, prefix_request(0, 5));
+  // Saturate the home: it now carries far more than twice any probe's
+  // outstanding tokens, so the bounded-load check defects every pick.
+  snaps[home].outstanding_tokens = 100000;
+  for (std::uint64_t id = 1; id < 32; ++id) {
+    EXPECT_NE(d->pick(snaps, prefix_request(id, 5)), home);
+  }
+}
+
+TEST(PrefixHash, FallsBackWithoutPrefixOrInDecodePhase) {
+  auto d = make_dispatcher(DispatchPolicy::kPrefixHash, 7);
+  auto snaps = even_fleet(4);
+  snaps[2].outstanding_tokens = 1;  // the least-outstanding fallback target
+  EXPECT_EQ(d->pick(snaps, prefix_request(0, 0)), 2u);  // no shared prefix
+  Request decode = prefix_request(1, 9);
+  decode.resume.prefilled = decode.prompt_len;  // handoff/retry: no prefill left
+  EXPECT_EQ(d->pick(snaps, decode), 2u);
+  EXPECT_EQ(d->pick(snaps), 2u);  // request-less entry point
+}
+
+TEST(PrefixAffinity, RoutesToTheResidentHolder) {
+  auto d = make_dispatcher(DispatchPolicy::kPrefixAffinity, 7);
+  auto snaps = even_fleet(4);
+  const std::uint64_t prefix = 77;
+  snaps[3].prefix_sig = std::uint64_t{1} << prefix_signature_bit(prefix);
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    EXPECT_EQ(d->pick(snaps, prefix_request(id, prefix)), 3u);
+  }
+}
+
+TEST(PrefixAffinity, PowerOfTwoAmongMultipleHolders) {
+  auto d = make_dispatcher(DispatchPolicy::kPrefixAffinity, 7);
+  auto snaps = even_fleet(6);
+  const std::uint64_t prefix = 12;
+  const std::uint64_t bit = std::uint64_t{1} << prefix_signature_bit(prefix);
+  snaps[1].prefix_sig = bit;
+  snaps[4].prefix_sig = bit;
+  snaps[4].outstanding_tokens = 10;  // the lighter holder
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    const std::size_t got = d->pick(snaps, prefix_request(id, prefix));
+    EXPECT_TRUE(got == 1u || got == 4u);
+  }
+}
+
+TEST(PrefixAffinity, FallsBackWhenNothingIsResident) {
+  auto d = make_dispatcher(DispatchPolicy::kPrefixAffinity, 7);
+  auto snaps = even_fleet(4);
+  snaps[1].outstanding_tokens = 5;
+  // No holder anywhere: the group's first arrival seeds a home at the
+  // least-loaded replica.
+  EXPECT_EQ(d->pick(snaps, prefix_request(0, 3)), 1u);
+  // Same for prefix-less and decode-phase requests.
+  EXPECT_EQ(d->pick(snaps, prefix_request(1, 0)), 1u);
+  Request decode = prefix_request(2, 3);
+  decode.resume.prefilled = decode.prompt_len;
+  EXPECT_EQ(d->pick(snaps, decode), 1u);
+}
+
+TEST(PrefixPolicies, NamesAndEmptySnapshotRejection) {
+  for (const DispatchPolicy policy :
+       {DispatchPolicy::kPrefixHash, DispatchPolicy::kPrefixAffinity}) {
+    auto d = make_dispatcher(policy);
+    EXPECT_EQ(d->name(), to_string(policy));
+    EXPECT_THROW((void)d->pick({}), Error) << to_string(policy);
+    EXPECT_THROW((void)d->pick({}, prefix_request(0, 1)), Error) << to_string(policy);
+  }
+  EXPECT_EQ(to_string(DispatchPolicy::kPrefixHash), "prefix-hash");
+  EXPECT_EQ(to_string(DispatchPolicy::kPrefixAffinity), "prefix-affinity");
+}
+
+bool same_snapshot(const ReplicaSnapshot& a, const ReplicaSnapshot& b) {
+  return a.replica == b.replica && a.in_flight == b.in_flight &&
+         a.outstanding_tokens == b.outstanding_tokens && a.accepting == b.accepting &&
+         a.warming == b.warming && a.heartbeat_age_ms == b.heartbeat_age_ms &&
+         a.step_ewma_ms == b.step_ewma_ms && a.expert_sig == b.expert_sig &&
+         a.prefix_sig == b.prefix_sig && a.prefill_pool == b.prefill_pool;
+}
+
+TEST(EligibleSnapshots, NoFilterFastPathMatchesElementWiseScan) {
+  // Regression pin for the bulk-copy fast path: an all-healthy fleet must
+  // come back exactly as it went in -- every field, every order -- with or
+  // without the slow-EWMA stage, exactly as the element-wise scan produced.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<ReplicaSnapshot> all;
+  for (std::size_t i = 0; i < 5; ++i) {
+    ReplicaSnapshot s{i, i + 1, static_cast<std::int64_t>(100 * i), true};
+    s.step_ewma_ms = 1.0 + 0.1 * static_cast<double>(i);
+    s.expert_sig = 0xf0f0u + i;
+    s.prefix_sig = 0x0f0fu + i;
+    all.push_back(s);
+  }
+  const auto out = eligible_snapshots(all, inf);
+  ASSERT_EQ(out.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_TRUE(same_snapshot(out[i], all[i])) << "snapshot " << i;
+  }
+  // With a finite factor the fast path feeds the same slow-EWMA stage: the
+  // outlier is still cut.
+  all[4].step_ewma_ms = 50.0;
+  const auto cut = eligible_snapshots(all, 2.0);
+  ASSERT_EQ(cut.size(), 4u);
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    EXPECT_TRUE(same_snapshot(cut[i], all[i])) << "snapshot " << i;
+  }
+  // And a fleet that DOES need filtering still takes the element-wise path.
+  all[0].accepting = false;
+  const auto filtered = eligible_snapshots(all, inf);
+  ASSERT_EQ(filtered.size(), 4u);
+  EXPECT_EQ(filtered[0].replica, 1u);
+}
+
+}  // namespace
+}  // namespace monde::serve

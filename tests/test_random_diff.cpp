@@ -160,6 +160,7 @@ Scenario random_scenario(std::uint64_t seed) {
       DispatchPolicy::kRoundRobin,          DispatchPolicy::kJoinShortestQueue,
       DispatchPolicy::kLeastOutstandingTokens, DispatchPolicy::kPowerOfTwoChoices,
       DispatchPolicy::kExpertAffinity,      DispatchPolicy::kExpertSharded,
+      DispatchPolicy::kPrefixHash,          DispatchPolicy::kPrefixAffinity,
   };
   sc.policy = kPolicies[draw(0, std::size(kPolicies) - 1)];
   sc.dispatch_seed = draw(1, 1 << 20);
@@ -171,6 +172,14 @@ Scenario random_scenario(std::uint64_t seed) {
     shape.new_tokens_max = 48;
   }
   if (chance(30)) shape.prompt_max = 96;
+  if (chance(45)) {  // shared prefixes feed the KV caches + prefix policies
+    shape.prefix_groups = static_cast<int>(draw(2, 5));
+    shape.shared_fraction = 0.5 + 0.1 * static_cast<double>(draw(0, 4));
+    shape.shared_prefix_len = static_cast<std::int64_t>(draw(4, 12));
+    if (chance(50)) {  // skewed tenant popularity (the multi-tenant shape)
+      shape.prefix_zipf_s = 0.5 * static_cast<double>(draw(1, 3));
+    }
+  }
   const int n_req = static_cast<int>(draw(24, 48));
   const std::uint64_t trace_seed = seed ^ 0xc0ffee;
   if (chance(50)) {
@@ -180,6 +189,7 @@ Scenario random_scenario(std::uint64_t seed) {
                             Duration::millis(static_cast<double>(draw(4, 12))), shape,
                             trace_seed);
   }
+  sc.shape = shape;
   return sc;
 }
 
@@ -190,9 +200,14 @@ Scenario random_scenario(std::uint64_t seed) {
 TEST(RandomDiff, LatticeCoverageSpansEveryDimension) {
   int disagg = 0, cache = 0, survive = 0, cadence = 0, expert = 0, rebalance = 0,
       autoscaled = 0, failstop = 0, slowdown = 0, fixed = 0, size_aware = 0,
-      admit_cap = 0, two_prefill = 0;
+      admit_cap = 0, two_prefill = 0, prefix_trace = 0, zipf_trace = 0,
+      prefix_policy = 0;
   for (const std::uint64_t seed : kFastSeeds) {
     const Scenario sc = random_scenario(seed);
+    prefix_trace += sc.shape.prefix_groups > 0;
+    zipf_trace += sc.shape.prefix_zipf_s > 0.0;
+    prefix_policy += sc.policy == DispatchPolicy::kPrefixHash ||
+                     sc.policy == DispatchPolicy::kPrefixAffinity;
     disagg += sc.cfg.disagg.enabled;
     admit_cap += sc.cfg.disagg.enabled && sc.cfg.disagg.decode_admit_tokens > 0;
     two_prefill += sc.cfg.disagg.enabled && sc.cfg.disagg.prefill_replicas == 2;
@@ -223,6 +238,9 @@ TEST(RandomDiff, LatticeCoverageSpansEveryDimension) {
   EXPECT_GT(slowdown, 0);
   EXPECT_GT(fixed, 0);
   EXPECT_GT(size_aware, 0);
+  EXPECT_GT(prefix_trace, 0);
+  EXPECT_GT(zipf_trace, 0);
+  EXPECT_GT(prefix_policy, 0);
 }
 
 TEST(RandomDiff, SeededLatticeAgreesAcrossLoopsAndThreadCounts) {

@@ -613,6 +613,39 @@ TEST(Arrivals, SharedPrefixGroupsAreOptInAndDeterministic) {
   EXPECT_THROW(bad.validate(), Error);
 }
 
+TEST(Arrivals, ZipfPrefixSkewIsOptInAndFavorsGroupOne) {
+  RequestShape uniform = small_shape();
+  uniform.prefix_groups = 4;
+  uniform.shared_fraction = 1.0;
+  uniform.shared_prefix_len = 8;
+  // prefix_zipf_s = 0 (the default) draws from the historical uniform
+  // stream: bit-identical group assignments.
+  RequestShape zero_skew = uniform;
+  zero_skew.prefix_zipf_s = 0.0;
+  const auto base = poisson_trace(64, 50.0, uniform, 9);
+  const auto same = poisson_trace(64, 50.0, zero_skew, 9);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(same[i].prefix_id, base[i].prefix_id);
+  }
+  // Skewed popularity: group 1 dominates, arrivals/shapes untouched.
+  RequestShape skewed = uniform;
+  skewed.prefix_zipf_s = 1.5;
+  const auto hot = poisson_trace(64, 50.0, skewed, 9);
+  std::size_t g1 = 0, g4 = 0;
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    EXPECT_DOUBLE_EQ(hot[i].arrival.ns(), base[i].arrival.ns());
+    EXPECT_EQ(hot[i].prompt_len, base[i].prompt_len);
+    ASSERT_GE(hot[i].prefix_id, 1u);
+    ASSERT_LE(hot[i].prefix_id, 4u);
+    g1 += hot[i].prefix_id == 1;
+    g4 += hot[i].prefix_id == 4;
+  }
+  EXPECT_GT(g1, g4);  // 1/1^1.5 vs 1/4^1.5: an 8x popularity gap
+  RequestShape bad = uniform;
+  bad.prefix_zipf_s = -0.5;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
 TEST(ServerSim, DisabledCacheConfigIsBitIdenticalToDefault) {
   // The acceptance pin: constructing a server with an explicit (disabled)
   // PrefixCacheConfig -- on a trace that even carries shared-prefix ids --
